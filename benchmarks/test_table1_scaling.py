@@ -1,0 +1,76 @@
+"""Table 1 — the paper's bounds for AH, checked as empirical trends.
+
+``O(hn)`` space, ``O(h log h)`` distance queries and ``O(k + h log h)``
+path queries cannot be proven by measurement, but their consequences can
+be falsified: entries/node tracking h, query latency nearly independent
+of n, and per-edge unpacking cost that is small and flat.
+"""
+
+import time
+
+import pytest
+
+from conftest import get_engine, get_graph, long_range_pairs
+
+LADDER = ("DE", "NH", "ME")
+
+
+def _mean_us(fn, pairs, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            fn(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return best / len(pairs) * 1e6
+
+
+@pytest.mark.parametrize("dataset_name", LADDER)
+def test_table1_ah_distance_query(benchmark, dataset_name):
+    engine = get_engine("AH", dataset_name)
+    pairs = long_range_pairs(dataset_name)
+    benchmark.group = "table1-distance"
+
+    def run():
+        for s, t in pairs:
+            engine.distance(s, t)
+
+    benchmark(run)
+
+
+def test_table1_space_tracks_h_times_n():
+    """entries ≈ c · h · n with a stable constant across the ladder."""
+    constants = []
+    for name in LADDER:
+        engine = get_engine("AH", name)
+        graph = get_graph(name)
+        constants.append(engine.index_size() / (graph.n * max(1, engine.h)))
+    assert max(constants) <= 4 * min(constants), constants
+
+
+def test_table1_query_nearly_flat_in_n():
+    """O(h log h) ⇒ tripling n must not triple the query time."""
+    small = _mean_us(
+        get_engine("AH", LADDER[0]).distance, long_range_pairs(LADDER[0])
+    )
+    large = _mean_us(
+        get_engine("AH", LADDER[-1]).distance, long_range_pairs(LADDER[-1])
+    )
+    n_ratio = get_graph(LADDER[-1]).n / get_graph(LADDER[0]).n
+    assert large / small < n_ratio, (
+        f"query grew {large / small:.2f}x for {n_ratio:.2f}x nodes"
+    )
+
+
+def test_table1_unpacking_linear_in_k():
+    """Path-query overhead over distance queries is O(k): the per-hop
+    unpacking cost stays small."""
+    name = "NH"
+    engine = get_engine("AH", name)
+    pairs = long_range_pairs(name)
+    d_us = _mean_us(engine.distance, pairs)
+    p_us = _mean_us(engine.shortest_path, pairs)
+    hops = [engine.shortest_path(s, t).hop_count for s, t in pairs[:10]]
+    mean_k = sum(hops) / len(hops)
+    per_hop = (p_us - d_us) / mean_k
+    assert per_hop < 30.0, f"unpacking {per_hop:.2f}us per edge"

@@ -1,0 +1,52 @@
+"""Table 2 — dataset generation benchmark and characteristics audit."""
+
+import pytest
+
+from repro.bench.experiments import table2
+from repro.datasets import dataset, dataset_spec
+from repro.graph import analyze_network
+
+
+@pytest.mark.parametrize("name", ("DE", "NH", "ME"))
+def test_table2_generation(benchmark, name):
+    """Time to synthesise a suite dataset from scratch."""
+    benchmark.group = "table2-generate"
+    benchmark.pedantic(
+        lambda: dataset(name, use_cache=False), rounds=1, iterations=1
+    )
+
+
+def test_table2_ladder_monotone():
+    """Generated sizes follow the paper's increasing ladder."""
+    sizes = [dataset(name).n for name in ("DE", "NH", "ME", "CO")]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] > 3 * sizes[0]
+
+
+def test_table2_every_dataset_valid():
+    """Strong connectivity and bounded degree across the bench ladder.
+
+    Town-centre interchanges accumulate highway spokes on top of their
+    grid edges, so the bound is 20 (in+out); real road networks rarely
+    exceed undirected degree 8-10, which this corresponds to."""
+    for name in ("DE", "NH", "ME", "CO"):
+        report = analyze_network(dataset(name))
+        assert report.strongly_connected, name
+        assert report.max_degree <= 20, name
+
+
+def test_table2_edge_node_ratio_matches_paper_regime():
+    """The paper's datasets have m/n ≈ 2.3-2.5; ours must be road-like
+    too (well above tree-like 1.0, below dense 4.0)."""
+    for name in ("DE", "NH", "ME"):
+        g = dataset(name)
+        spec = dataset_spec(name)
+        paper_ratio = spec.paper_edges / spec.paper_nodes
+        ours = g.m / g.n
+        assert 0.5 * paper_ratio <= ours <= 2.0 * paper_ratio
+
+
+def test_table2_render_contains_all_rows():
+    rows = table2.run(["DE", "NH"])
+    text = table2.render(rows)
+    assert "DE" in text and "NH" in text and "Delaware" in text

@@ -1,0 +1,80 @@
+"""Turn-by-turn navigation from shortest path queries.
+
+Demonstrates the *shortest path* half of the paper's API: the unpacked
+node sequence, combined with node coordinates, yields driving directions
+(headings, turns and leg lengths).
+
+Run with::
+
+    python examples/navigation.py
+"""
+
+import math
+
+from repro.core import AHIndex
+from repro.datasets import grid_city
+from repro.spatial import euclidean_distance
+
+_COMPASS = ["east", "north-east", "north", "north-west", "west", "south-west", "south", "south-east"]
+
+
+def heading(a, b) -> float:
+    """Bearing of the segment a->b in degrees, counter-clockwise from east."""
+    return math.degrees(math.atan2(b[1] - a[1], b[0] - a[0])) % 360.0
+
+
+def compass(angle: float) -> str:
+    """Nearest compass direction name for an angle in degrees."""
+    return _COMPASS[int(((angle + 22.5) % 360) // 45)]
+
+
+def turn_instruction(prev_angle: float, next_angle: float) -> str:
+    """Classify the turn between two headings."""
+    delta = (next_angle - prev_angle + 180) % 360 - 180
+    if abs(delta) < 30:
+        return "continue straight"
+    if delta > 120:
+        return "sharp left"
+    if delta > 0:
+        return "turn left"
+    if delta < -120:
+        return "sharp right"
+    return "turn right"
+
+
+def main() -> None:
+    graph = grid_city(16, 16, seed=4)
+    index = AHIndex(graph)
+
+    source, target = 0, graph.n - 1
+    route = index.shortest_path(source, target)
+    route.validate(graph)
+    print(
+        f"route {source} -> {target}: {route.hop_count} segments, "
+        f"travel time {route.length:.1f}\n"
+    )
+
+    # Merge consecutive same-heading segments into legs, then describe.
+    coords = [graph.coord(u) for u in route.nodes]
+    legs = []  # (angle, length)
+    for a, b in zip(coords, coords[1:]):
+        angle = heading(a, b)
+        length = euclidean_distance(a, b)
+        if legs and abs(((angle - legs[-1][0]) + 180) % 360 - 180) < 15:
+            legs[-1] = (legs[-1][0], legs[-1][1] + length)
+        else:
+            legs.append((angle, length))
+
+    print(f"1. head {compass(legs[0][0])} for {legs[0][1]:.0f} m")
+    step = 2
+    for (prev, _), (nxt, dist) in zip(legs, legs[1:]):
+        print(
+            f"{step}. {turn_instruction(prev, nxt)}, "
+            f"then {compass(nxt)} for {dist:.0f} m"
+        )
+        step += 1
+    print(f"{step}. arrive at node {target}")
+
+
+if __name__ == "__main__":
+    main()

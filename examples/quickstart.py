@@ -1,0 +1,42 @@
+"""Quickstart: index a road network and answer queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a synthetic road network (towns joined by highways), indexes it
+with the Arterial Hierarchy, and answers a few distance and shortest
+path queries, cross-checking each against plain Dijkstra.
+"""
+
+from repro.core import AHIndex
+from repro.datasets import towns_and_highways
+from repro.graph import distance_query
+
+
+def main() -> None:
+    # 1. A road network: 8 towns, ~800 nodes, travel-time weights.
+    graph = towns_and_highways(8, seed=42)
+    print(f"network: {graph.n} nodes, {graph.m} directed edges")
+
+    # 2. Preprocess once...
+    index = AHIndex(graph)
+    print(index.describe())
+    print(f"build phases (s): { {k: round(v, 2) for k, v in index.build_times.items()} }")
+
+    # 3. ...then query as often as you like.
+    pairs = [(0, graph.n - 1), (5, graph.n // 2), (17, 3)]
+    for s, t in pairs:
+        d = index.distance(s, t)
+        check = distance_query(graph, s, t)
+        assert abs(d - check) < 1e-9 * max(1.0, check)
+        path = index.shortest_path(s, t)
+        path.validate(graph)
+        print(
+            f"query {s} -> {t}: distance = {d:.2f} "
+            f"({path.hop_count} road segments), verified against Dijkstra"
+        )
+
+
+if __name__ == "__main__":
+    main()

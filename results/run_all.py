@@ -1,0 +1,53 @@
+"""Archive a full harness run: every table/figure panel into results/.
+
+Usage: python results/run_all.py [--big]
+"""
+import sys
+import time
+
+from repro.bench.experiments import ablation, fig3, fig10, fig89, table1, table2
+
+BIG = "--big" in sys.argv
+F89 = ["DE", "NH", "ME", "CO"] if BIG else ["DE", "NH", "ME"]
+LADDER = ["DE", "NH", "ME", "CO"]
+
+
+def save(name, text):
+    path = f"results/{name}.txt"
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"[{time.strftime('%H:%M:%S')}] wrote {path}", flush=True)
+
+
+save("table2", table2.render(table2.run(["DE", "NH", "ME", "CO", "FL", "CA"])))
+save(
+    "fig3_exact",
+    fig3.render(fig3.run(["DE", "NH"], mode="exact", max_region_nodes=2500)),
+)
+save("fig3_reduced", fig3.render(fig3.run(["ME", "CO"], mode="reduced")))
+save(
+    "fig8",
+    fig89.render(
+        fig89.run(
+            F89,
+            kind="distance",
+            queries_per_bucket=40,
+            engine_kwargs={"AH": {"elevating": True}},
+        )
+    ),
+)
+save(
+    "fig9",
+    fig89.render(
+        fig89.run(
+            F89,
+            kind="path",
+            queries_per_bucket=30,
+            engine_kwargs={"AH": {"elevating": True}},
+        )
+    ),
+)
+save("fig10", fig10.render(fig10.run(LADDER)))
+save("table1", table1.render(table1.run(LADDER, queries=60)))
+save("ablation", ablation.render(ablation.run("NH", queries=60)))
+print("all experiments archived")

@@ -1,0 +1,16 @@
+import time
+from repro.bench.experiments import ablation, fig89, table1
+
+def save(name, text):
+    with open(f"results/{name}.txt", "w") as fh:
+        fh.write(text + "\n")
+    print(f"[{time.strftime('%H:%M:%S')}] wrote results/{name}.txt", flush=True)
+
+DATASETS = ["DE", "NH", "ME", "CO"]
+save("fig8", fig89.render(fig89.run(DATASETS, kind="distance", queries_per_bucket=40,
+                                    engine_kwargs={"AH": {"elevating": True}})))
+save("fig9", fig89.render(fig89.run(DATASETS, kind="path", queries_per_bucket=30,
+                                    engine_kwargs={"AH": {"elevating": True}})))
+save("table1", table1.render(table1.run(DATASETS, queries=60)))
+save("ablation", ablation.render(ablation.run("NH", queries=60)))
+print("done")

@@ -1,0 +1,47 @@
+"""repro — Arterial Hierarchy road-network indexing.
+
+A production-quality reproduction of
+
+    Zhu, Ma, Xiao, Luo, Tang, Zhou.
+    "Shortest Path and Distance Queries on Road Networks:
+     Towards Bridging Theory and Practice." SIGMOD 2013.
+
+Public API highlights
+---------------------
+* :class:`repro.graph.Graph` / :class:`repro.graph.GraphBuilder` — the road
+  network model.
+* :class:`repro.core.AHIndex` — the paper's Arterial Hierarchy index.
+* :class:`repro.core.FCIndex` — the first-cut index of Section 3.
+* :mod:`repro.baselines` — Dijkstra, bidirectional, A*, ALT, CH, SILC.
+* :mod:`repro.datasets` — synthetic road networks, the scaled Table-2
+  suite, and the Q1..Q10 workload generator.
+* :mod:`repro.bench` — harnesses regenerating every table and figure of
+  the paper's evaluation.
+"""
+
+from .graph import (
+    Graph,
+    GraphBuilder,
+    Path,
+    bidirectional_distance,
+    bidirectional_path,
+    distance_query,
+    read_dimacs,
+    shortest_path_query,
+    write_dimacs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Path",
+    "distance_query",
+    "shortest_path_query",
+    "bidirectional_distance",
+    "bidirectional_path",
+    "read_dimacs",
+    "write_dimacs",
+    "__version__",
+]

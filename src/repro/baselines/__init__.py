@@ -1,0 +1,24 @@
+"""Baseline engines: Dijkstra, bidirectional, A*, ALT, CH and SILC."""
+
+from .alt import ALTEngine, select_landmarks_farthest
+from .astar import AStarEngine, max_speed
+from .base import QueryEngine
+from .ch import CHEngine, ContractionResult, contract_graph
+from .dijkstra import BidirectionalEngine, DijkstraEngine
+from .silc import SILCEngine
+from .tnr import TNREngine
+
+__all__ = [
+    "QueryEngine",
+    "DijkstraEngine",
+    "BidirectionalEngine",
+    "AStarEngine",
+    "max_speed",
+    "ALTEngine",
+    "select_landmarks_farthest",
+    "CHEngine",
+    "ContractionResult",
+    "contract_graph",
+    "SILCEngine",
+    "TNREngine",
+]

@@ -1,0 +1,61 @@
+"""Common interface implemented by every query engine in this package.
+
+The benchmark harness treats FC, AH, CH, SILC, ALT, A* and plain
+Dijkstra uniformly: each is a :class:`QueryEngine` with ``distance`` and
+``shortest_path`` methods plus size/preprocessing accounting, which is
+what Figures 8-10 sweep over.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..graph.graph import Graph
+from ..graph.path import Path
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine(abc.ABC):
+    """Abstract base for distance / shortest-path query engines.
+
+    Attributes
+    ----------
+    graph:
+        The road network the engine answers queries on.
+    name:
+        Short display name used by the benchmark tables.
+    """
+
+    name: str = "engine"
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def distance(self, source: int, target: int) -> float:
+        """Network distance from ``source`` to ``target`` (inf if none)."""
+
+    @abc.abstractmethod
+    def shortest_path(self, source: int, target: int) -> Optional[Path]:
+        """A shortest path from ``source`` to ``target``; None if none."""
+
+    # ------------------------------------------------------------------
+    # Accounting (Figure 10)
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        """Number of stored index entries (edges, shortcuts, tree blocks).
+
+        Engines without preprocessing (Dijkstra, A*) report 0; indexed
+        engines report the count of auxiliary entries their structures
+        hold, the machine-independent stand-in for Figure 10a's bytes.
+        """
+        return 0
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        return f"{self.name}(n={self.graph.n}, m={self.graph.m}, size={self.index_size()})"

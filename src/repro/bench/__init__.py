@@ -1,0 +1,25 @@
+"""Benchmark harness regenerating every table and figure of the paper."""
+
+from . import experiments
+from .harness import (
+    ENGINE_FACTORIES,
+    BuildRecord,
+    QueryRecord,
+    build_engine,
+    time_distance_batch,
+    time_path_batch,
+)
+from .reporting import format_kv, format_series, format_table
+
+__all__ = [
+    "experiments",
+    "ENGINE_FACTORIES",
+    "BuildRecord",
+    "QueryRecord",
+    "build_engine",
+    "time_distance_batch",
+    "time_path_batch",
+    "format_table",
+    "format_series",
+    "format_kv",
+]

@@ -1,0 +1,22 @@
+"""Experiment modules, one per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...)`` returning structured records and
+``render(result)`` producing the paper-style text panel.  The mapping to
+the paper:
+
+========  =====================================================
+Module    Paper content
+========  =====================================================
+table1    Table 1  — asymptotic bounds, checked empirically
+table2    Table 2  — dataset characteristics
+fig3      Figure 3 — arterial dimension vs grid resolution
+fig89     Figure 8 — distance query time vs Q1..Q10
+          Figure 9 — shortest path query time vs Q1..Q10
+fig10     Figure 10 — index space and preprocessing time vs n
+ablation  (extension) per-component AH ablations
+========  =====================================================
+"""
+
+from . import ablation, fig3, fig10, fig89, table1, table2
+
+__all__ = ["fig3", "fig89", "fig10", "table1", "table2", "ablation"]

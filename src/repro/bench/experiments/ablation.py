@@ -1,0 +1,108 @@
+"""Ablations over AH's design choices (§4.3, §4.4).
+
+The paper motivates several components individually — the proximity
+constraint, the rank (vertex-cover) ordering, downgrading, elevating
+edges — without isolating their effects.  This experiment does: each
+configuration toggles one component against the default AH, and all of
+them are validated against ground truth before timing, so an ablation
+can never silently trade correctness for speed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core import AHIndex
+from ...datasets.suite import dataset
+from ...datasets.workloads import generate_workloads
+from ...graph.traversal import distance_query
+from ..harness import time_distance_batch
+from ..reporting import format_table
+
+__all__ = ["AblationRow", "CONFIGS", "run", "render"]
+
+#: Named configurations; each overrides AHIndex keyword arguments.
+CONFIGS: Dict[str, Dict] = {
+    "AH (default)": {},
+    "no proximity": {"proximity": False},
+    "no downgrade": {"downgrade": False},
+    "random order": {"ordering": "random"},
+    "elevating": {"elevating": True},
+    "stall-on-demand": {"stall_on_demand": True},
+}
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration's build/query outcome."""
+
+    config: str
+    build_seconds: float
+    index_entries: int
+    shortcuts: int
+    distance_us: float
+    correct: bool
+
+
+def run(
+    dataset_name: str = "DE",
+    queries: int = 100,
+    seed: int = 0,
+    configs: Optional[Dict[str, Dict]] = None,
+) -> List[AblationRow]:
+    """Build each configuration, verify it, then time it."""
+    import time as _time
+
+    graph = dataset(dataset_name)
+    workloads = generate_workloads(graph, queries_per_bucket=queries, seed=seed)
+    buckets = workloads.non_empty_buckets()
+    pairs: List[Tuple[int, int]] = []
+    rng = random.Random(seed)
+    for b in buckets:
+        pairs.extend(workloads.bucket(b))
+    rng.shuffle(pairs)
+    pairs = pairs[:queries]
+    truth = [distance_query(graph, s, t) for s, t in pairs]
+
+    rows: List[AblationRow] = []
+    for name, kwargs in (configs or CONFIGS).items():
+        t0 = _time.perf_counter()
+        engine = AHIndex(graph, **kwargs)
+        build = _time.perf_counter() - t0
+        correct = all(
+            abs(engine.distance(s, t) - d) <= 1e-6 * max(1.0, d)
+            for (s, t), d in zip(pairs, truth)
+        )
+        record = time_distance_batch(engine, pairs, dataset=dataset_name)
+        rows.append(
+            AblationRow(
+                config=name,
+                build_seconds=build,
+                index_entries=engine.index_size(),
+                shortcuts=engine.shortcut_count,
+                distance_us=record.mean_us,
+                correct=correct,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[AblationRow]) -> str:
+    """Render the ablation table."""
+    return format_table(
+        ["configuration", "build s", "entries", "shortcuts", "dist us", "correct"],
+        [
+            (
+                r.config,
+                round(r.build_seconds, 2),
+                r.index_entries,
+                r.shortcuts,
+                round(r.distance_us, 1),
+                "yes" if r.correct else "NO",
+            )
+            for r in rows
+        ],
+        title="AH ablations — one design choice toggled at a time",
+    )

@@ -1,0 +1,123 @@
+"""Figure 10 — space overhead and preprocessing time versus n.
+
+The paper plots, across the ten datasets, (a) the index size and (b) the
+construction time of AH, SILC and CH, establishing that SILC grows
+super-linearly (unusable past mid-size), AH grows linearly with moderate
+constants, and CH is the most frugal.
+
+The reproduction sweeps a ladder of suite datasets, building each engine
+(SILC only under its size cap) and recording build seconds plus the
+machine-independent index entry count.  Per-step growth ratios are
+rendered alongside, so the linear-vs-superlinear distinction is visible
+without a plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...datasets.suite import dataset
+from ..harness import BuildRecord, build_engine
+from ..reporting import format_series
+from .fig89 import SIZE_CAPS
+
+__all__ = ["Fig10Result", "run", "render", "growth_exponent"]
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Build records for the size ladder, grouped by engine."""
+
+    datasets: List[str]
+    sizes: List[int]
+    builds: Dict[str, List[Optional[BuildRecord]]]
+
+
+def run(
+    datasets: Sequence[str] = ("DE", "NH", "ME", "CO"),
+    engines: Sequence[str] = ("SILC", "CH", "AH"),
+    engine_kwargs: Optional[Dict[str, Dict]] = None,
+) -> Fig10Result:
+    """Build every engine on every ladder dataset (caps respected)."""
+    engine_kwargs = engine_kwargs or {}
+    sizes: List[int] = []
+    builds: Dict[str, List[Optional[BuildRecord]]] = {e: [] for e in engines}
+    for name in datasets:
+        graph = dataset(name)
+        sizes.append(graph.n)
+        for engine_name in engines:
+            cap = SIZE_CAPS.get(engine_name)
+            if cap is not None and graph.n > cap:
+                builds[engine_name].append(None)
+                continue
+            _, record = build_engine(
+                engine_name,
+                graph,
+                dataset=name,
+                use_cache=True,
+                **engine_kwargs.get(engine_name, {}),
+            )
+            builds[engine_name].append(record)
+    return Fig10Result(datasets=list(datasets), sizes=sizes, builds=builds)
+
+
+def growth_exponent(sizes: Sequence[int], values: Sequence[float]) -> Optional[float]:
+    """Least-squares slope of log(value) vs log(n).
+
+    ~1.0 indicates linear growth, >1.3 super-linear; used by the
+    benchmark assertions on the figure's qualitative claims.
+    """
+    import math
+
+    points = [
+        (math.log(n), math.log(v))
+        for n, v in zip(sizes, values)
+        if v and v > 0
+    ]
+    if len(points) < 2:
+        return None
+    mx = sum(p[0] for p in points) / len(points)
+    my = sum(p[1] for p in points) / len(points)
+    denom = sum((x - mx) ** 2 for x, _ in points)
+    if denom == 0:
+        return None
+    return sum((x - mx) * (y - my) for x, y in points) / denom
+
+
+def render(result: Fig10Result) -> str:
+    """Render panels (a) space and (b) preprocessing time."""
+    space_series: Dict[str, List[object]] = {}
+    time_series: Dict[str, List[object]] = {}
+    for engine, records in result.builds.items():
+        space_series[engine] = [
+            (r.index_size if r else "-") for r in records
+        ]
+        time_series[engine] = [
+            (round(r.build_seconds, 3) if r else "-") for r in records
+        ]
+    x = [f"{name} ({n:,})" for name, n in zip(result.datasets, result.sizes)]
+    a = format_series(
+        "dataset (n)",
+        x,
+        space_series,
+        title="Figure 10a — index size (stored entries) vs n",
+    )
+    b = format_series(
+        "dataset (n)",
+        x,
+        time_series,
+        title="Figure 10b — preprocessing time (seconds) vs n",
+    )
+    exps: List[str] = []
+    for engine, records in result.builds.items():
+        ns = [n for n, r in zip(result.sizes, records) if r]
+        space_exp = growth_exponent(ns, [r.index_size for r in records if r])
+        time_exp = growth_exponent(ns, [r.build_seconds for r in records if r])
+        exps.append(
+            f"{engine}: space growth n^{space_exp:.2f}, "
+            f"time growth n^{time_exp:.2f}"
+            if space_exp is not None and time_exp is not None
+            else f"{engine}: insufficient points"
+        )
+    return "\n\n".join([a, b, "log-log growth exponents:\n" + "\n".join(exps)])

@@ -1,0 +1,132 @@
+"""Figures 8 and 9 — query efficiency versus query distance.
+
+For every dataset the paper times 10,000 queries per bucket ``Q1..Q10``
+(pairs stratified by network distance) for AH, CH, SILC and Dijkstra,
+once for distance queries (Figure 8) and once for shortest path queries
+(Figure 9).  SILC is omitted beyond mid-size inputs, exactly as in the
+paper (its preprocessing/space are prohibitive).
+
+The reproduction sweeps the same grid — engines x buckets x datasets —
+with configurable batch sizes, and reports mean per-query latency in
+microseconds per bucket, i.e. one text panel per figure panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...datasets.suite import dataset
+from ...datasets.workloads import generate_workloads
+from ..harness import (
+    BuildRecord,
+    QueryRecord,
+    build_engine,
+    time_distance_batch,
+    time_path_batch,
+)
+from ..reporting import format_series
+
+__all__ = ["PanelResult", "run", "render", "DEFAULT_ENGINES"]
+
+DEFAULT_ENGINES: Tuple[str, ...] = ("Dijkstra", "SILC", "CH", "AH")
+
+#: SILC (and FC) are skipped above these sizes, mirroring the paper's
+#: exclusion of SILC beyond 500k nodes.
+SIZE_CAPS: Dict[str, int] = {"SILC": 4000, "FC": 4000}
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """One figure panel: every engine's per-bucket latency on a dataset."""
+
+    dataset: str
+    n: int
+    kind: str  # "distance" or "path"
+    buckets: List[int]  # 1-based bucket ids actually measured
+    builds: List[BuildRecord]
+    queries: List[QueryRecord]
+
+    def series(self) -> Dict[str, List[float]]:
+        """Engine -> mean latency (us) aligned with ``buckets``."""
+        out: Dict[str, List[float]] = {}
+        for record in self.queries:
+            out.setdefault(record.engine, [])
+        for engine in out:
+            per_bucket = {
+                r.bucket: r.mean_us for r in self.queries if r.engine == engine
+            }
+            out[engine] = [per_bucket.get(b, float("nan")) for b in self.buckets]
+        return out
+
+
+def run(
+    datasets: Sequence[str] = ("DE", "NH"),
+    engines: Sequence[str] = DEFAULT_ENGINES,
+    kind: str = "distance",
+    queries_per_bucket: int = 50,
+    seed: int = 0,
+    engine_kwargs: Optional[Dict[str, Dict]] = None,
+    repeats: int = 3,
+) -> List[PanelResult]:
+    """Run one figure (8 for ``kind='distance'``, 9 for ``'path'``)."""
+    if kind not in ("distance", "path"):
+        raise ValueError("kind must be 'distance' or 'path'")
+    timer = time_distance_batch if kind == "distance" else time_path_batch
+    engine_kwargs = engine_kwargs or {}
+    panels: List[PanelResult] = []
+    for name in datasets:
+        graph = dataset(name)
+        workloads = generate_workloads(
+            graph, queries_per_bucket=queries_per_bucket, seed=seed
+        )
+        buckets = workloads.non_empty_buckets()
+        builds: List[BuildRecord] = []
+        queries: List[QueryRecord] = []
+        for engine_name in engines:
+            cap = SIZE_CAPS.get(engine_name)
+            if cap is not None and graph.n > cap:
+                continue
+            engine, build = build_engine(
+                engine_name,
+                graph,
+                dataset=name,
+                use_cache=True,
+                **engine_kwargs.get(engine_name, {}),
+            )
+            builds.append(build)
+            for b in buckets:
+                pairs = workloads.bucket(b)
+                queries.append(
+                    timer(engine, pairs, dataset=name, bucket=b, repeats=repeats)
+                )
+        panels.append(
+            PanelResult(
+                dataset=name,
+                n=graph.n,
+                kind=kind,
+                buckets=buckets,
+                builds=builds,
+                queries=queries,
+            )
+        )
+    return panels
+
+
+def render(panels: Sequence[PanelResult]) -> str:
+    """Render one series table per panel (mean microseconds per query)."""
+    figure = "Figure 8" if panels and panels[0].kind == "distance" else "Figure 9"
+    blocks: List[str] = []
+    for panel in panels:
+        blocks.append(
+            format_series(
+                "Q",
+                [f"Q{b}" for b in panel.buckets],
+                panel.series(),
+                title=(
+                    f"{figure} — {panel.kind} queries on {panel.dataset} "
+                    f"(n={panel.n:,}); mean microseconds per query"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,141 @@
+"""Table 1 — asymptotic performance, checked empirically.
+
+Table 1 of the paper lists the bounds of the state of the art and claims
+for AH: ``O(hn)`` space, ``O(hn²)`` preprocessing, ``O(h log h)``
+distance queries and ``O(k + h log h)`` path queries.  Absolute bounds
+cannot be "measured", but their *consequences* can: on a ladder of
+growing networks we record
+
+* index entries per node (should stay ~proportional to ``h``),
+* distance query time (should stay nearly flat in ``n`` — it depends
+  only on ``h ≈ log α``),
+* path query time minus distance query time per path edge (the ``O(k)``
+  unpacking term),
+
+and render them next to the paper's formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ...datasets.suite import dataset
+from ...datasets.workloads import generate_workloads
+from ..harness import build_engine, time_distance_batch, time_path_batch
+from ..reporting import format_table
+
+__all__ = ["Table1Row", "run", "render", "PAPER_BOUNDS"]
+
+#: The paper's Table 1 (the "this paper" row plus the competitors it
+#: compares against), kept verbatim for the rendered report.
+PAPER_BOUNDS = [
+    ("Mozes-Sommer [19]", "O(n)", "O(n log n)", "O(n^0.5+e)", "O(k + n^0.5+e)"),
+    ("Abraham et al. [4]", "O(n log n log D)", "O(n^2 log n)", "O(log^2 n log^2 D)", "O(k + log^2 n log^2 D)"),
+    ("Samet et al. [21]", "O(n sqrt(n))", "O(n^2 log n)", "O(k log n)", "O(k log n)"),
+    ("this paper (AH)", "O(hn)", "O(hn^2)", "O(h log h)", "O(k + h log h)"),
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Empirical AH measurements for one ladder dataset."""
+
+    dataset: str
+    n: int
+    h: int
+    index_entries: int
+    entries_per_node: float
+    build_seconds: float
+    distance_us: float
+    path_us: float
+    mean_hops: float
+    unpack_us_per_hop: float
+
+
+def run(
+    datasets: Sequence[str] = ("DE", "NH", "ME", "CO"),
+    queries: int = 100,
+    seed: int = 0,
+) -> List[Table1Row]:
+    """Measure AH's empirical scaling on the ladder."""
+    rows: List[Table1Row] = []
+    for name in datasets:
+        graph = dataset(name)
+        engine, build = build_engine("AH", graph, dataset=name, use_cache=True)
+        workloads = generate_workloads(graph, queries_per_bucket=queries, seed=seed)
+        buckets = workloads.non_empty_buckets()
+        # Long-range queries stress the hierarchy most; mirror the paper's
+        # emphasis by sampling from the top non-empty buckets.
+        pairs = []
+        for b in reversed(buckets):
+            pairs.extend(workloads.bucket(b))
+            if len(pairs) >= queries:
+                break
+        pairs = pairs[:queries]
+        drec = time_distance_batch(engine, pairs, dataset=name, repeats=3)
+        prec = time_path_batch(engine, pairs, dataset=name, repeats=3)
+        hops = []
+        for s, t in pairs[: max(10, len(pairs) // 5)]:
+            path = engine.shortest_path(s, t)
+            if path is not None:
+                hops.append(path.hop_count)
+        mean_hops = sum(hops) / len(hops) if hops else 0.0
+        unpack = (
+            (prec.mean_us - drec.mean_us) / mean_hops if mean_hops > 0 else 0.0
+        )
+        rows.append(
+            Table1Row(
+                dataset=name,
+                n=graph.n,
+                h=engine.h,
+                index_entries=build.index_size,
+                entries_per_node=build.index_size / graph.n,
+                build_seconds=build.build_seconds,
+                distance_us=drec.mean_us,
+                path_us=prec.mean_us,
+                mean_hops=mean_hops,
+                unpack_us_per_hop=unpack,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[Table1Row]) -> str:
+    """Render the paper's bound table plus the measured consequences."""
+    bounds = format_table(
+        ["method", "space", "preprocessing", "distance query", "path query"],
+        PAPER_BOUNDS,
+        title="Table 1 — asymptotic bounds (as printed in the paper)",
+    )
+    measured = format_table(
+        [
+            "dataset",
+            "n",
+            "h",
+            "entries",
+            "entries/n",
+            "build s",
+            "dist us",
+            "path us",
+            "mean k",
+            "unpack us/k",
+        ],
+        [
+            (
+                r.dataset,
+                r.n,
+                r.h,
+                r.index_entries,
+                round(r.entries_per_node, 2),
+                round(r.build_seconds, 2),
+                round(r.distance_us, 1),
+                round(r.path_us, 1),
+                round(r.mean_hops, 1),
+                round(r.unpack_us_per_hop, 3),
+            )
+            for r in rows
+        ],
+        title="Empirical consequences for AH (space/n flat, query ~flat in n)",
+    )
+    return bounds + "\n\n" + measured

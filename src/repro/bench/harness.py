@@ -1,0 +1,177 @@
+"""Shared machinery for the experiment harness.
+
+The per-figure experiment modules (:mod:`repro.bench.experiments`) use
+this layer to build engines uniformly, time query batches, and collect
+structured records that :mod:`repro.bench.reporting` renders as the
+paper-style tables and series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..baselines import (
+    ALTEngine,
+    AStarEngine,
+    BidirectionalEngine,
+    CHEngine,
+    DijkstraEngine,
+    QueryEngine,
+    SILCEngine,
+    TNREngine,
+)
+from ..core import AHIndex, FCIndex
+from ..graph.graph import Graph
+
+__all__ = [
+    "ENGINE_FACTORIES",
+    "BuildRecord",
+    "QueryRecord",
+    "build_engine",
+    "time_distance_batch",
+    "time_path_batch",
+]
+
+#: Engine name -> constructor.  Every constructor takes the graph plus
+#: engine-specific keyword arguments.
+ENGINE_FACTORIES: Dict[str, Callable[..., QueryEngine]] = {
+    "Dijkstra": DijkstraEngine,
+    "BiDijkstra": BidirectionalEngine,
+    "A*": AStarEngine,
+    "ALT": ALTEngine,
+    "CH": CHEngine,
+    "SILC": SILCEngine,
+    "TNR": TNREngine,
+    "FC": FCIndex,
+    "AH": AHIndex,
+}
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """Preprocessing outcome for one engine on one dataset.
+
+    ``index_size`` is the engine's machine-independent entry count (see
+    :meth:`repro.baselines.base.QueryEngine.index_size`), the stand-in
+    for Figure 10a's megabytes.
+    """
+
+    engine: str
+    dataset: str
+    n: int
+    m: int
+    build_seconds: float
+    index_size: int
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Timing of one query batch (one engine, one dataset, one bucket)."""
+
+    engine: str
+    dataset: str
+    bucket: int  # 1-based Qi; 0 means "mixed random pairs"
+    kind: str  # "distance" | "path"
+    queries: int
+    mean_us: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall time spent on the batch."""
+        return self.mean_us * self.queries / 1e6
+
+
+_ENGINE_CACHE: Dict[Tuple, Tuple[QueryEngine, "BuildRecord"]] = {}
+
+
+def build_engine(
+    name: str, graph: Graph, dataset: str = "?", use_cache: bool = False, **kwargs
+) -> Tuple[QueryEngine, BuildRecord]:
+    """Construct an engine by name and record its preprocessing cost.
+
+    With ``use_cache=True`` and a real ``dataset`` name, the built engine
+    is memoised for the process lifetime; the experiment modules opt in
+    so a multi-figure harness run preprocesses each (engine, dataset)
+    pair once — the cached :class:`BuildRecord` keeps the original build
+    time.
+    """
+    factory = ENGINE_FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(f"unknown engine {name!r}; choose from {sorted(ENGINE_FACTORIES)}")
+    key = (name, dataset, graph.n, graph.m, tuple(sorted(kwargs.items())))
+    if use_cache and key in _ENGINE_CACHE:
+        return _ENGINE_CACHE[key]
+    t0 = time.perf_counter()
+    engine = factory(graph, **kwargs)
+    build_seconds = time.perf_counter() - t0
+    record = BuildRecord(
+        engine=name,
+        dataset=dataset,
+        n=graph.n,
+        m=graph.m,
+        build_seconds=build_seconds,
+        index_size=engine.index_size(),
+    )
+    if use_cache:
+        _ENGINE_CACHE[key] = (engine, record)
+    return engine, record
+
+
+def time_distance_batch(
+    engine: QueryEngine,
+    pairs: Sequence[Tuple[int, int]],
+    dataset: str = "?",
+    bucket: int = 0,
+    repeats: int = 1,
+) -> QueryRecord:
+    """Run distance queries over ``pairs`` and record the mean latency.
+
+    With ``repeats > 1`` the batch is run several times and the fastest
+    pass is kept, suppressing GC/warm-up spikes on small batches.
+    """
+    if not pairs:
+        return QueryRecord(engine.name, dataset, bucket, "distance", 0, 0.0)
+    distance = engine.distance
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            distance(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return QueryRecord(
+        engine=engine.name,
+        dataset=dataset,
+        bucket=bucket,
+        kind="distance",
+        queries=len(pairs),
+        mean_us=best / len(pairs) * 1e6,
+    )
+
+
+def time_path_batch(
+    engine: QueryEngine,
+    pairs: Sequence[Tuple[int, int]],
+    dataset: str = "?",
+    bucket: int = 0,
+    repeats: int = 1,
+) -> QueryRecord:
+    """Run shortest path queries over ``pairs``; fastest of ``repeats``."""
+    if not pairs:
+        return QueryRecord(engine.name, dataset, bucket, "path", 0, 0.0)
+    shortest_path = engine.shortest_path
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for s, t in pairs:
+            shortest_path(s, t)
+        best = min(best, time.perf_counter() - t0)
+    return QueryRecord(
+        engine=engine.name,
+        dataset=dataset,
+        bucket=bucket,
+        kind="path",
+        queries=len(pairs),
+        mean_us=best / len(pairs) * 1e6,
+    )

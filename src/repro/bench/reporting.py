@@ -1,0 +1,82 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as figures; a text harness renders the
+same information as aligned series tables — one row per x-axis point, one
+column per method — so "who wins, by what factor, where crossovers fall"
+can be read straight off the output (and diffed across runs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render one column per named series against a shared x axis.
+
+    This is the textual analogue of the paper's figure panels: e.g. for
+    Figure 8, ``x_values`` are Q1..Q10 and ``series`` maps each method to
+    its per-bucket mean query times.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_kv(pairs: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render key/value pairs, one per line."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(k) for k in pairs), default=0)
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

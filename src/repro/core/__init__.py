@@ -1,0 +1,50 @@
+"""Core: the paper's contribution — arterial machinery, FC and AH."""
+
+from .ah import AHIndex
+from .arterial import (
+    ArterialStats,
+    RegionTooLargeError,
+    arterial_dimension_stats,
+    region_arterial_edges,
+)
+from .fc import FCIndex
+from .hierarchy import LevelAssignment, assign_levels, exact_levels
+from .lemmas import (
+    CoveringViolation,
+    DensityReport,
+    check_covering_property,
+    check_density_bound,
+    check_sliding_window,
+)
+from .ordering import RankAssignment, compute_ranks, greedy_vertex_cover
+from .perturb import PerturbedGraph, perturb_weights, recommended_tau
+from .serialize import index_bytes, load_index, save_index
+from .sliding_window import SlidingWindowResult, sliding_window
+
+__all__ = [
+    "AHIndex",
+    "FCIndex",
+    "arterial_dimension_stats",
+    "region_arterial_edges",
+    "ArterialStats",
+    "RegionTooLargeError",
+    "LevelAssignment",
+    "assign_levels",
+    "exact_levels",
+    "RankAssignment",
+    "compute_ranks",
+    "greedy_vertex_cover",
+    "PerturbedGraph",
+    "perturb_weights",
+    "recommended_tau",
+    "SlidingWindowResult",
+    "sliding_window",
+    "save_index",
+    "load_index",
+    "index_bytes",
+    "CoveringViolation",
+    "DensityReport",
+    "check_covering_property",
+    "check_density_bound",
+    "check_sliding_window",
+]

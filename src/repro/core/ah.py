@@ -1,0 +1,520 @@
+"""Arterial Hierarchy index (Section 4) — the paper's main contribution.
+
+Construction pipeline
+---------------------
+1. **Levels** — :func:`repro.core.hierarchy.assign_levels` classifies
+   nodes into ``0..h`` grid levels via pseudo-arterial edges on reduced
+   graphs (§4.2).
+2. **Ranks** — :func:`repro.core.ordering.compute_ranks` turns levels
+   into a strict total order using the §4.4 vertex-cover heuristic, with
+   optional downgrading.
+3. **Shortcuts** — the graph is contracted in ascending rank order
+   (:func:`repro.baselines.ch.contract_graph`).  Every shortcut carries
+   the *middle node* it bypasses, which realises the paper's two-hop
+   invariant (§4.1): any shortcut expands into two shorter edges, so a
+   packed query path unpacks into the original-graph path in ``O(k)``.
+4. **Elevating edges** (optional, §4.2/§4.3) — for border nodes of the
+   coarser grids, precomputed jumps to the first nodes of level ``>= j``
+   on upward shortest paths, letting queries skip the low hierarchy
+   levels entirely.
+
+Query processing (§4.3)
+-----------------------
+A bidirectional Dijkstra over upward edges only (the **rank
+constraint**), optionally pruning any relaxation toward a level-``i``
+node that falls outside every 3x3-cell region of ``R_{i+1}`` around the
+query endpoint (the **proximity constraint**), optionally jumping along
+elevating edges up to the separation level of the query pair.
+
+Correctness notes
+-----------------
+The rank constraint alone is complete: contraction guarantees a
+rank-unimodal path of optimal length for every pair (the paper's
+Lemma 16).  The proximity constraint is additionally safe because the
+level assignment marks arterial edges tie-inclusively, so *every*
+shortest path between nodes separated at ``R_{i+1}`` passes a node above
+level ``i`` (Lemma 3), and hence the canonical unimodal path never
+leaves the 5x5-cell neighbourhoods the constraint searches.  Elevating
+jumps replay precomputed prefixes of the same upward search, and fall
+back to plain relaxation whenever a node has no (complete) jump table.
+Every constraint can be toggled per query engine for ablation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from heapq import heappop, heappush
+
+from ..baselines.base import QueryEngine
+from ..baselines.ch import contract_graph
+from ..graph.graph import Graph
+from ..graph.path import Path
+from ..spatial.grid import GridPyramid, NodeGrid
+from .hierarchy import LevelAssignment, assign_levels
+from .ordering import RankAssignment, compute_ranks
+
+__all__ = ["AHIndex"]
+
+INF = float("inf")
+
+# parent entry: (predecessor, packed chain from predecessor to node)
+_Parent = Tuple[int, Tuple[int, ...]]
+
+
+class AHIndex(QueryEngine):
+    """The Arterial Hierarchy query engine.
+
+    Parameters
+    ----------
+    graph:
+        The road network to index.
+    pyramid:
+        Optional pre-built grid pyramid (defaults to one covering the
+        graph with ≤ one node per finest cell).
+    proximity:
+        Enable the proximity constraint at query time.
+    downgrade:
+        Apply §4.4's downgrading of non-cover cores.
+    elevating:
+        Precompute elevating edges and use them at query time.
+    stall_on_demand:
+        Enable the CH-style stalling optimisation (off by default: the
+        paper's AH does not use it; flip it on for ablations).
+    hop_limit, settle_limit:
+        Witness-search truncation for the contraction phase.
+    elevating_settle_cap:
+        Abandon a node/level jump table when its upward search exceeds
+        this many settled nodes (the query then falls back to plain
+        relaxation for that node — always safe).
+    ordering:
+        ``"cover"`` uses §4.4's vertex-cover heuristic within levels;
+        ``"random"`` orders levels randomly (the ablation baseline — any
+        strict total order preserves correctness, per the paper).
+    seed:
+        Randomness for the within-level ordering.
+    """
+
+    name = "AH"
+
+    def __init__(
+        self,
+        graph: Graph,
+        pyramid: Optional[GridPyramid] = None,
+        proximity: bool = True,
+        downgrade: bool = True,
+        elevating: bool = False,
+        stall_on_demand: bool = False,
+        hop_limit: int = 8,
+        settle_limit: int = 64,
+        elevating_settle_cap: int = 512,
+        ordering: str = "cover",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        self.proximity = proximity
+        self.use_elevating = elevating
+        self.stall_on_demand = stall_on_demand
+        self.build_times: Dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        self.assignment: LevelAssignment = assign_levels(graph, pyramid)
+        self.build_times["levels"] = time.perf_counter() - t0
+
+        if ordering not in ("cover", "random"):
+            raise ValueError(f"ordering must be 'cover' or 'random', got {ordering!r}")
+        t0 = time.perf_counter()
+        pseudo = self.assignment.pseudo_arterial if ordering == "cover" else {}
+        self.ranking: RankAssignment = compute_ranks(
+            self.assignment.levels,
+            pseudo,
+            downgrade=downgrade and ordering == "cover",
+            seed=seed,
+        )
+        self.build_times["ordering"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        self._res = contract_graph(
+            graph,
+            order=self.ranking.order,
+            hop_limit=hop_limit,
+            settle_limit=settle_limit,
+        )
+        self.build_times["contraction"] = time.perf_counter() - t0
+
+        self.levels: List[int] = self.ranking.levels
+        self.node_grid: NodeGrid = self.assignment.node_grid
+        self.h: int = self.assignment.h
+
+        self._elev_f: Dict[int, Dict[int, List[Tuple[int, float, Tuple[int, ...]]]]] = {}
+        self._elev_b: Dict[int, Dict[int, List[Tuple[int, float, Tuple[int, ...]]]]] = {}
+        if elevating:
+            t0 = time.perf_counter()
+            self._build_elevating(elevating_settle_cap)
+            self.build_times["elevating"] = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        """Upward edges (both directions) plus elevating entries."""
+        res = self._res
+        size = sum(len(a) for a in res.up_out) + sum(len(a) for a in res.up_in)
+        for table in (self._elev_f, self._elev_b):
+            for per_level in table.values():
+                for entries in per_level.values():
+                    size += len(entries)
+        return size
+
+    @property
+    def shortcut_count(self) -> int:
+        """Shortcuts added by the contraction phase."""
+        return self._res.shortcut_count
+
+    def build_time(self) -> float:
+        """Total preprocessing seconds across all phases."""
+        return sum(self.build_times.values())
+
+    def describe(self) -> str:
+        """Summary including the level histogram."""
+        sizes = {}
+        for lv in self.levels:
+            sizes[lv] = sizes.get(lv, 0) + 1
+        return (
+            f"AH(n={self.graph.n}, h={self.h}, shortcuts={self.shortcut_count}, "
+            f"levels={dict(sorted(sizes.items()))})"
+        )
+
+    # ------------------------------------------------------------------
+    # Metric customization (§7 future work: time-varying edge weights)
+    # ------------------------------------------------------------------
+    def with_weights(
+        self,
+        graph: Graph,
+        hop_limit: int = 8,
+        settle_limit: int = 64,
+    ) -> "AHIndex":
+        """Rebuild the index for new edge weights, reusing the hierarchy.
+
+        The paper's §7 names traffic-driven weight changes as future
+        work.  This customization step answers it in the spirit of
+        customizable route planning: the expensive, largely structural
+        phases (grid levels, vertex-cover ranks) are kept, and only the
+        cheap contraction phase re-runs on the new metric — typically
+        two orders of magnitude faster than a full rebuild.
+
+        Because the covering property behind the proximity constraint
+        and elevating edges is metric-dependent, the customized index
+        runs with the rank constraint only (which is exact for *any*
+        weights); re-run the full constructor when the metric change is
+        permanent and the extra query speed matters.
+
+        ``graph`` must have the same node count as the original network;
+        edges may change weight freely (added/removed edges are allowed
+        too — contraction consumes whatever adjacency it is given).
+        """
+        if self.ranking is None:
+            raise ValueError(
+                "this index was deserialized without its ranking; "
+                "customization needs a fully built index"
+            )
+        if graph.n != self.graph.n:
+            raise ValueError(
+                f"new graph has {graph.n} nodes, index was built for "
+                f"{self.graph.n}"
+            )
+        custom = AHIndex.__new__(AHIndex)
+        custom.graph = graph
+        custom.proximity = False
+        custom.use_elevating = False
+        custom.stall_on_demand = self.stall_on_demand
+        custom.build_times = dict(self.build_times)
+        custom.assignment = self.assignment
+        custom.ranking = self.ranking
+        custom.levels = self.levels
+        custom.node_grid = self.node_grid
+        custom.h = self.h
+        t0 = time.perf_counter()
+        custom._res = contract_graph(
+            graph,
+            order=self.ranking.order,
+            hop_limit=hop_limit,
+            settle_limit=settle_limit,
+        )
+        custom.build_times["customization"] = time.perf_counter() - t0
+        custom._elev_f = {}
+        custom._elev_b = {}
+        return custom
+
+    # ------------------------------------------------------------------
+    # Elevating edges
+    # ------------------------------------------------------------------
+    def _build_elevating(self, cap: int) -> None:
+        levels = self.levels
+        border = self.assignment.border_by_level
+        for j in range(2, self.h + 1):
+            for u in border.get(j, ()):
+                if levels[u] >= j:
+                    continue
+                fwd = self._elevating_search(u, j, self._res.up_out, cap)
+                if fwd:
+                    self._elev_f.setdefault(u, {})[j] = fwd
+                bwd = self._elevating_search(u, j, self._res.up_in, cap)
+                if bwd:
+                    # The backward search walks in-edges, so its chains are
+                    # in reverse graph order; flip them for unpacking.
+                    self._elev_b.setdefault(u, {})[j] = [
+                        (v, w, tuple(reversed(chain))) for v, w, chain in bwd
+                    ]
+
+    def _elevating_search(
+        self,
+        source: int,
+        j: int,
+        adjacency: List[List[Tuple[int, float, Optional[int]]]],
+        cap: int,
+    ) -> Optional[List[Tuple[int, float, Tuple[int, ...]]]]:
+        """Upward search from ``source`` through sub-``j`` levels.
+
+        Returns ``(terminal, distance, packed chain)`` for every first
+        crossing into level ``>= j``; ``None`` when the search exceeds
+        ``cap`` settled nodes (the jump table would be incomplete and is
+        therefore discarded).
+        """
+        levels = self.levels
+        dist: Dict[int, float] = {source: 0.0}
+        parent: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled: Set[int] = set()
+        terminals: List[Tuple[int, float]] = []
+        while heap:
+            d, u = heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if len(settled) > cap:
+                return None
+            if levels[u] >= j:
+                terminals.append((u, d))
+                continue  # first crossing: do not expand further
+            for v, w, _mid in adjacency[u]:
+                nd = d + w
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    parent[v] = u
+                    heappush(heap, (nd, v))
+        out: List[Tuple[int, float, Tuple[int, ...]]] = []
+        for node, d in terminals:
+            chain = [node]
+            x = node
+            while x != source:
+                x = parent[x]
+                chain.append(x)
+            chain.reverse()  # source .. node, consecutive pairs are edges
+            out.append((node, d, tuple(chain)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Network distance via the constrained bidirectional search."""
+        d, _ = self._query(source, target, want_parents=False)
+        return d
+
+    def shortest_path(self, source: int, target: int) -> Optional[Path]:
+        """Shortest path: constrained search, then two-hop unpacking."""
+        d, meet = self._query(source, target, want_parents=True)
+        if meet is None:
+            return None
+        node, parent_f, parent_b = meet
+        packed: List[int] = []
+        segments: List[Tuple[int, ...]] = []
+        x = node
+        while x != source:
+            pred, chain = parent_f[x]
+            segments.append(chain)
+            x = pred
+        packed.append(source)
+        for chain in reversed(segments):
+            packed.extend(chain[1:])
+        x = node
+        while x != target:
+            nxt, chain = parent_b[x]
+            packed.extend(chain[1:])
+            x = nxt
+        nodes = self._unpack(packed)
+        return Path(tuple(nodes), d)
+
+    def _unpack(self, packed: List[int]) -> List[int]:
+        middle = self._res.middle
+        nodes: List[int] = [packed[0]]
+        stack: List[Tuple[int, int]] = [
+            (packed[i], packed[i + 1]) for i in range(len(packed) - 2, -1, -1)
+        ]
+        while stack:
+            a, b = stack.pop()
+            mid = middle.get((a, b))
+            if mid is None:
+                nodes.append(b)
+            else:
+                stack.append((mid, b))
+                stack.append((a, mid))
+        return nodes
+
+    def _query(
+        self, source: int, target: int, want_parents: bool
+    ) -> Tuple[float, Optional[Tuple[int, Dict[int, _Parent], Dict[int, _Parent]]]]:
+        if source == target:
+            return 0.0, (source, {}, {})
+        res = self._res
+        up_out, up_in = res.up_out, res.up_in
+        levels = self.levels
+        node_grid = self.node_grid
+        h = self.h
+        proximity = self.proximity
+        stall = self.stall_on_demand
+        j_sep = (
+            node_grid.coarsest_separating_level(source, target)
+            if self.use_elevating
+            else 0
+        )
+
+        dist_f: Dict[int, float] = {source: 0.0}
+        dist_b: Dict[int, float] = {target: 0.0}
+        parent_f: Dict[int, _Parent] = {}
+        parent_b: Dict[int, _Parent] = {}
+        settled_f: Set[int] = set()
+        settled_b: Set[int] = set()
+        heap_f: List[Tuple[float, int]] = [(0.0, source)]
+        heap_b: List[Tuple[float, int]] = [(0.0, target)]
+        best = INF
+        best_node: Optional[int] = None
+        # Inlined proximity test: node v at level i must share a 3x3-cell
+        # region of R_{i+1} with the anchor, i.e. the cell Chebyshev
+        # distance at shift i is <= 2.  Anchor cells are precomputed per
+        # level so the hot loop is pure integer arithmetic.
+        fx = node_grid._fx
+        fy = node_grid._fy
+        if proximity:
+            src_cx = [fx[source] >> i for i in range(h)]
+            src_cy = [fy[source] >> i for i in range(h)]
+            tgt_cx = [fx[target] >> i for i in range(h)]
+            tgt_cy = [fy[target] >> i for i in range(h)]
+
+        def allowed_f(v: int) -> bool:
+            lv = levels[v]
+            if lv >= h:
+                return True
+            return (
+                -2 <= (fx[v] >> lv) - src_cx[lv] <= 2
+                and -2 <= (fy[v] >> lv) - src_cy[lv] <= 2
+            )
+
+        def allowed_b(v: int) -> bool:
+            lv = levels[v]
+            if lv >= h:
+                return True
+            return (
+                -2 <= (fx[v] >> lv) - tgt_cx[lv] <= 2
+                and -2 <= (fy[v] >> lv) - tgt_cy[lv] <= 2
+            )
+
+        while heap_f or heap_b:
+            top_f = heap_f[0][0] if heap_f else INF
+            top_b = heap_b[0][0] if heap_b else INF
+            if best <= min(top_f, top_b):
+                break
+            forward = top_f <= top_b
+            if forward:
+                d, u = heappop(heap_f)
+                if u in settled_f:
+                    continue
+                settled_f.add(u)
+                other = dist_b.get(u)
+                if other is not None and d + other < best:
+                    best = d + other
+                    best_node = u
+                if stall and self._stalled(u, d, dist_f, up_in):
+                    continue
+                jumped = False
+                if j_sep and levels[u] < j_sep:
+                    per_level = self._elev_f.get(u)
+                    if per_level:
+                        jj = max((k for k in per_level if k <= j_sep), default=None)
+                        if jj is not None and jj > levels[u]:
+                            jumped = True
+                            for v, w, chain in per_level[jj]:
+                                nd = d + w
+                                if nd < dist_f.get(v, INF) and (
+                                    not proximity or allowed_f(v)
+                                ):
+                                    dist_f[v] = nd
+                                    if want_parents:
+                                        parent_f[v] = (u, chain)
+                                    heappush(heap_f, (nd, v))
+                if not jumped:
+                    for v, w, _mid in up_out[u]:
+                        nd = d + w
+                        if nd < dist_f.get(v, INF) and (
+                            not proximity or allowed_f(v)
+                        ):
+                            dist_f[v] = nd
+                            if want_parents:
+                                parent_f[v] = (u, (u, v))
+                            heappush(heap_f, (nd, v))
+            else:
+                d, u = heappop(heap_b)
+                if u in settled_b:
+                    continue
+                settled_b.add(u)
+                other = dist_f.get(u)
+                if other is not None and d + other < best:
+                    best = d + other
+                    best_node = u
+                if stall and self._stalled(u, d, dist_b, up_out):
+                    continue
+                jumped = False
+                if j_sep and levels[u] < j_sep:
+                    per_level = self._elev_b.get(u)
+                    if per_level:
+                        jj = max((k for k in per_level if k <= j_sep), default=None)
+                        if jj is not None and jj > levels[u]:
+                            jumped = True
+                            for v, w, chain in per_level[jj]:
+                                nd = d + w
+                                if nd < dist_b.get(v, INF) and (
+                                    not proximity or allowed_b(v)
+                                ):
+                                    dist_b[v] = nd
+                                    if want_parents:
+                                        # chain runs v .. u in graph order
+                                        parent_b[v] = (u, chain)
+                                    heappush(heap_b, (nd, v))
+                if not jumped:
+                    for v, w, _mid in up_in[u]:
+                        nd = d + w
+                        if nd < dist_b.get(v, INF) and (
+                            not proximity or allowed_b(v)
+                        ):
+                            dist_b[v] = nd
+                            if want_parents:
+                                parent_b[v] = (u, (v, u))
+                            heappush(heap_b, (nd, v))
+        if best_node is None:
+            return INF, None
+        return best, (best_node, parent_f, parent_b)
+
+    @staticmethod
+    def _stalled(
+        u: int,
+        d: float,
+        dist: Dict[int, float],
+        reverse_adj: List[List[Tuple[int, float, Optional[int]]]],
+    ) -> bool:
+        for v, w, _ in reverse_adj[u]:
+            dv = dist.get(v)
+            if dv is not None and dv + w < d:
+                return True
+        return False

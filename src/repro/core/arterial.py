@@ -1,0 +1,704 @@
+"""Spanning paths, arterial edges and the arterial dimension (Section 2).
+
+Given a 4x4-cell region ``B`` of grid ``R_i``:
+
+* a *local path* in ``B`` has at most one edge intersecting ``B``'s
+  boundary;
+* a *spanning path* is a local shortest path whose endpoints lie on
+  different sides of one of ``B``'s bisectors, with neither endpoint in a
+  cell adjacent to that bisector (Definition 1);
+* an *arterial edge* of ``B`` is an edge of a spanning path that
+  intersects the bisector.
+
+Assumption 1 (the arterial dimension) bounds the number of arterial edges
+per region by a constant λ; Figure 3 measures it empirically, and
+:func:`arterial_dimension_stats` reproduces that measurement.
+
+Implementation notes
+--------------------
+The computation is exact over the following path-shape family: interior
+nodes strictly inside ``B``; at most one endpoint may sit outside ``B``,
+reached by the path's single boundary-crossing edge; and single edges that
+fly over the bisector directly.  The SlidingWindow argument (Appendix B /
+our :mod:`repro.core.sliding_window`) shows every shortest path that spans
+a region contains a sub-path of exactly this shape, so marking arterial
+edges within the family preserves the covering property that the FC/AH
+level assignment — and therefore query pruning — relies on.
+
+Ties are handled *inclusively*: an edge is marked when it lies on **any**
+minimum-length spanning path, not just one canonical path, so correctness
+never depends on the weight-perturbation of Appendix A (which is still
+provided in :mod:`repro.core.perturb` for faithfulness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph
+from ..spatial.grid import GridPyramid, NodeGrid
+from ..spatial.regions import Region, nonempty_regions
+
+__all__ = [
+    "region_arterial_edges",
+    "arterial_dimension_stats",
+    "ArterialStats",
+    "RegionTooLargeError",
+]
+
+INF = float("inf")
+_REL_EPS = 1e-9
+
+
+class RegionTooLargeError(ValueError):
+    """Raised when a region holds more nodes than the caller's cap.
+
+    Exact arterial computation inside a region costs roughly
+    ``O(|endpoints| * |region| log |region|)``; the cap keeps the exact
+    sweep usable (the paper's FC has the same scaling limitation, which
+    is AH's entire raison d'être).
+    """
+
+
+# ----------------------------------------------------------------------
+# Geometry helpers for one region/axis
+# ----------------------------------------------------------------------
+def _axis_info(region: Region, pyramid: GridPyramid, axis: str):
+    """Return (bisector position, lo, hi, coordinate picker, cross picker).
+
+    For the vertical bisector the *position* is an x value and the
+    bisector segment spans ``[lo, hi]`` in y; picker functions extract the
+    along-axis / cross-axis coordinate from an ``(x, y)`` pair.
+    """
+    x0, y0, x1, y1 = region.bounds(pyramid)
+    if axis == "vertical":
+        return region.vertical_bisector_x(pyramid), y0, y1, 0, 1
+    return region.horizontal_bisector_y(pyramid), x0, x1, 1, 0
+
+
+def _segment_crosses_bisector(
+    ax: float,
+    ay: float,
+    bx: float,
+    by: float,
+    pos: float,
+    lo: float,
+    hi: float,
+    main: int,
+    cross: int,
+) -> bool:
+    """Does segment a-b cross the bisector *segment* (not the full line)?
+
+    ``main`` selects the coordinate compared against ``pos`` (x for the
+    vertical bisector); ``cross`` the coordinate compared against the
+    ``[lo, hi]`` extent.
+    """
+    a = (ax, ay)
+    b = (bx, by)
+    da = a[main] - pos
+    db = b[main] - pos
+    if da * db > 0:
+        return False
+    if da == db:  # degenerate: edge parallel and on the line
+        return lo <= a[cross] <= hi or lo <= b[cross] <= hi
+    t = da / (da - db)
+    c = a[cross] + t * (b[cross] - a[cross])
+    return lo <= c <= hi
+
+
+def _column_of(region: Region, cell: Tuple[int, int], axis: str) -> int:
+    """Cell offset along the bisector-splitting axis relative to ``rx``."""
+    if axis == "vertical":
+        return cell[0] - region.rx
+    return cell[1] - region.ry
+
+
+def _endpoint_side(region: Region, cell: Tuple[int, int], axis: str) -> Optional[int]:
+    """-1 / +1 for a *valid* spanning endpoint cell; None when the cell is
+    adjacent to the bisector (columns 1 and 2 in region offsets)."""
+    col = _column_of(region, cell, axis)
+    if col in (1, 2):
+        return None
+    return -1 if col <= 1 else 1
+
+
+# ----------------------------------------------------------------------
+# The per-region solver (shared by the exact and the overlay variants)
+# ----------------------------------------------------------------------
+def _local_dijkstra(
+    seeds: Sequence[Tuple[int, float]],
+    adj: Dict[int, List[Tuple[int, float]]],
+    expandable: Optional[Set[int]] = None,
+    seed_nodes: Optional[Set[int]] = None,
+) -> Dict[int, float]:
+    """Dijkstra restricted to the region's interior adjacency ``adj``.
+
+    When ``expandable`` is given, settled nodes outside it are terminals:
+    they receive a distance but are not relaxed through (the paper's
+    border condition — spanning-path interiors must be cores).  Seed
+    nodes themselves (``seed_nodes``) always expand: a path may *start*
+    at a non-core endpoint.
+    """
+    dist: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = []
+    for node, d0 in seeds:
+        if d0 < dist.get(node, INF):
+            dist[node] = d0
+            heappush(heap, (d0, node))
+    settled: Dict[int, float] = {}
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        if (
+            expandable is not None
+            and u not in expandable
+            and (seed_nodes is None or u not in seed_nodes)
+        ):
+            continue
+        for v, w in adj.get(u, ()):
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return settled
+
+
+@dataclass
+class _RegionProblem:
+    """One region/axis instance handed to :func:`_solve_region_axis`.
+
+    Attributes
+    ----------
+    inside_out / inside_in:
+        Interior adjacency (both directions) among inside nodes only.
+    west_inside / east_inside:
+        Valid spanning-path endpoint nodes inside the region per side
+        (side -1 is "west"/"south", +1 is "east"/"north").
+    enter_edges:
+        ``(outside_node, inside_node, w)`` usable as a path's first edge.
+    exit_edges:
+        ``(inside_node, outside_node, w)`` usable as a path's last edge.
+    outside_side:
+        Side (+-1) of each referenced outside node, or ``None`` when the
+        node sits in a bisector-adjacent column (invalid endpoint).
+    crossing:
+        Candidate arterial edges ``(a, b, w, a_inside, b_inside)`` whose
+        segment crosses the bisector segment.
+    expandable:
+        When not ``None``, interior nodes the search may relax through
+        (the cores of the current AH iteration); other nodes only
+        terminate paths.
+    """
+
+    inside_out: Dict[int, List[Tuple[int, float]]]
+    inside_in: Dict[int, List[Tuple[int, float]]]
+    west_inside: List[int]
+    east_inside: List[int]
+    enter_edges: List[Tuple[int, int, float]]
+    exit_edges: List[Tuple[int, int, float]]
+    outside_side: Dict[int, Optional[int]]
+    crossing: List[Tuple[int, int, float, bool, bool]]
+    expandable: Optional[Set[int]] = None
+
+
+def _solve_region_axis(problem: _RegionProblem) -> Set[Tuple[int, int]]:
+    """Mark all-ties arterial edges for one region and one bisector.
+
+    Sources are valid endpoints on either side (inside border nodes, plus
+    outside nodes via their single entry edge); targets symmetric.  An
+    inside-inside crossing edge ``(a, b)`` is arterial when some valid
+    pair ``(u, v)`` on opposite sides satisfies
+    ``d_u(a) + w + d_v(b) == d_u(v)`` (a tied shortest spanning path
+    through the edge).  Crossing edges with an outside endpoint are the
+    path's entry/exit edge and are checked against the other side's
+    distances; fully-outside crossing edges between valid endpoint
+    columns are marked directly (single-edge spanning paths).
+
+    The solver maps the sub-problem onto dense local indices so the many
+    tiny Dijkstras run over lists instead of dictionaries.
+    """
+    marked: Set[Tuple[int, int]] = set()
+    if not problem.crossing:
+        return marked
+    expandable = problem.expandable
+
+    # ---- local index over inside nodes --------------------------------
+    ids: List[int] = list(problem.inside_out.keys())
+    k = len(ids)
+    idx: Dict[int, int] = {u: i for i, u in enumerate(ids)}
+    out_local: List[List[Tuple[int, float]]] = [
+        [(idx[v], w) for v, w in problem.inside_out[u]] for u in ids
+    ]
+    in_local: List[List[Tuple[int, float]]] = [
+        [(idx[v], w) for v, w in problem.inside_in[u]] for u in ids
+    ]
+    if expandable is None:
+        can_expand = [True] * k
+    else:
+        can_expand = [u in expandable for u in ids]
+
+    def dij(
+        seeds: List[Tuple[int, float]],
+        adj: List[List[Tuple[int, float]]],
+        free: int,
+    ) -> List[float]:
+        """List-based Dijkstra; ``free`` expands even if not a core."""
+        dist = [INF] * k
+        heap: List[Tuple[float, int]] = []
+        for i, d0 in seeds:
+            if d0 < dist[i]:
+                dist[i] = d0
+                heap.append((d0, i))
+        heap.sort()
+        done = [False] * k
+        while heap:
+            d, i = heappop(heap)
+            if done[i]:
+                continue
+            done[i] = True
+            if not can_expand[i] and i != free:
+                continue
+            for j, w in adj[i]:
+                nd = d + w
+                if nd < dist[j]:
+                    dist[j] = nd
+                    heappush(heap, (nd, j))
+        for i in range(k):
+            if not done[i]:
+                dist[i] = INF
+        return dist
+
+    # ---- forward / backward sweeps from valid endpoints ---------------
+    fwd: Dict[int, List[float]] = {}
+    fwd_side: Dict[int, int] = {}
+    for u in problem.west_inside:
+        fwd[u] = dij([(idx[u], 0.0)], out_local, idx[u])
+        fwd_side[u] = -1
+    for u in problem.east_inside:
+        fwd[u] = dij([(idx[u], 0.0)], out_local, idx[u])
+        fwd_side[u] = 1
+    enter_by_u: Dict[int, List[Tuple[int, float]]] = {}
+    for u, x, w in problem.enter_edges:
+        if problem.outside_side.get(u) is not None:
+            enter_by_u.setdefault(u, []).append((idx[x], w))
+    for u, seeds in enter_by_u.items():
+        fwd[u] = dij(seeds, out_local, -1)
+        fwd_side[u] = problem.outside_side[u]
+
+    bwd: Dict[int, List[float]] = {}
+    bwd_side: Dict[int, int] = {}
+    for v in problem.west_inside:
+        bwd[v] = dij([(idx[v], 0.0)], in_local, idx[v])
+        bwd_side[v] = -1
+    for v in problem.east_inside:
+        bwd[v] = dij([(idx[v], 0.0)], in_local, idx[v])
+        bwd_side[v] = 1
+    exit_by_v: Dict[int, List[Tuple[int, float]]] = {}
+    for x, v, w in problem.exit_edges:
+        if problem.outside_side.get(v) is not None:
+            exit_by_v.setdefault(v, []).append((idx[x], w))
+    for v, seeds in exit_by_v.items():
+        bwd[v] = dij(seeds, in_local, -1)
+        bwd_side[v] = problem.outside_side[v]
+
+    # ---- valid (u, v) pairs with their spanning distances --------------
+    # D(u, v) is read off the forward sweep directly: d_u(v) for inside
+    # targets, min over v's exit seeds for outside targets (an outside
+    # source's entry cost is already folded into its sweep seeds).
+    outside_src = set(enter_by_u)
+    outside_tgt = set(exit_by_v)
+    pairs: List[Tuple[int, int, float]] = []
+    for u, du in fwd.items():
+        su = fwd_side[u]
+        u_out = u in outside_src
+        for v, seeds in exit_by_v.items():
+            if u == v or bwd_side[v] == su or u_out:
+                continue  # same node, same side, or two crossings
+            best = INF
+            for i, w in seeds:
+                d = du[i] + w
+                if d < best:
+                    best = d
+            if best < INF:
+                pairs.append((u, v, best))
+        for v in bwd:
+            if v in outside_tgt or u == v or bwd_side[v] == su:
+                continue
+            d = du[idx[v]]
+            if d < INF:
+                pairs.append((u, v, d))
+
+    # ---- mark crossing edges on tied shortest spanning paths ----------
+    for a, b, w, a_in, b_in in problem.crossing:
+        key = (a, b)
+        if key in marked:
+            continue
+        if not a_in and not b_in:
+            sa = problem.outside_side.get(a)
+            sb = problem.outside_side.get(b)
+            # A single flying edge is its own spanning path when both
+            # endpoints are valid and on opposite sides.
+            if sa is not None and sb is not None and sa != sb:
+                marked.add(key)
+            continue
+        ia = idx[a] if a_in else -1
+        ib = idx[b] if b_in else -1
+        a_core = a_in and can_expand[ia]
+        b_core = b_in and can_expand[ib]
+        for u, v, duv in pairs:
+            if a_in:
+                if not a_core and a != u:
+                    continue  # a would be a non-core interior node
+                da = fwd[u][ia]
+            else:
+                if u != a:
+                    continue  # the edge must be the entry edge from u = a
+                da = 0.0
+            if da == INF:
+                continue
+            if b_in:
+                if not b_core and b != v:
+                    continue
+                db = bwd[v][ib]
+            else:
+                if v != b:
+                    continue
+                db = 0.0
+            if db == INF:
+                continue
+            total = da + w + db
+            if total <= duv * (1 + _REL_EPS) + 1e-15:
+                marked.add(key)
+                break
+    return marked
+
+
+# ----------------------------------------------------------------------
+# Shared single-pass extraction
+# ----------------------------------------------------------------------
+def _in_strip(region: Region, cell: Tuple[int, int], axis: str, side: int) -> bool:
+    """Cell membership in the outer strip of ``side`` for ``axis``."""
+    if axis == "vertical":
+        col = region.rx if side == -1 else region.rx + 3
+        return cell[0] == col and region.ry <= cell[1] < region.ry + 4
+    row = region.ry if side == -1 else region.ry + 3
+    return cell[1] == row and region.rx <= cell[0] < region.rx + 4
+
+
+def build_region_problems(
+    node_grid: NodeGrid,
+    region: Region,
+    inside: Sequence[int],
+    adjacency,
+    expandable: Optional[Set[int]] = None,
+) -> List[_RegionProblem]:
+    """Extract the vertical and horizontal sub-problems in one edge pass.
+
+    ``adjacency(u)`` must yield ``(v, w, is_out)`` for every usable edge
+    incident to ``u`` (``is_out`` True for ``u -> v``); the caller bakes
+    in any coverage filtering.  Inside endpoints are restricted to strip
+    nodes with an edge leaving their strip — genuine Definition-2 border
+    nodes.  This loses no arterial edges: any spanning path can be
+    trimmed to the last in-strip node before / first after its crossing
+    edge, both of which have strip-leaving edges, and the trimmed path is
+    still a local shortest spanning path containing the same crossing
+    edge.
+    """
+    graph = node_grid.graph
+    pyramid = node_grid.pyramid
+    xs, ys = graph.xs, graph.ys
+    level = region.level
+    inside_set = set(inside)
+    cell_of = node_grid.cell_of
+
+    problems: List[_RegionProblem] = []
+    axes_info = [
+        ("vertical", *_axis_info(region, pyramid, "vertical")),
+        ("horizontal", *_axis_info(region, pyramid, "horizontal")),
+    ]
+
+    inside_out: Dict[int, List[Tuple[int, float]]] = {u: [] for u in inside}
+    inside_in: Dict[int, List[Tuple[int, float]]] = {u: [] for u in inside}
+    enter_edges: List[Tuple[int, int, float]] = []
+    exit_edges: List[Tuple[int, int, float]] = []
+    outside_cell: Dict[int, Tuple[int, int]] = {}
+    crossing: Dict[str, List[Tuple[int, int, float, bool, bool]]] = {
+        "vertical": [],
+        "horizontal": [],
+    }
+    # endpoint candidates per axis/side: inside strip nodes with an edge
+    # leaving the strip.
+    border: Dict[Tuple[str, int], Set[int]] = {
+        ("vertical", -1): set(),
+        ("vertical", 1): set(),
+        ("horizontal", -1): set(),
+        ("horizontal", 1): set(),
+    }
+    strip_of: Dict[int, List[Tuple[str, int]]] = {}
+    for u in inside:
+        cu = cell_of(level, u)
+        memberships = []
+        for axis in ("vertical", "horizontal"):
+            side = _endpoint_side(region, cu, axis)
+            if side is not None and _in_strip(region, cu, axis, side):
+                memberships.append((axis, side))
+        if memberships:
+            strip_of[u] = memberships
+
+    seen_pairs: Set[Tuple[int, int, bool]] = set()
+    for u in inside:
+        cu = cell_of(level, u)
+        u_strips = strip_of.get(u, ())
+        for v, w, is_out in adjacency(u):
+            v_in = v in inside_set
+            if v_in:
+                cv = cell_of(level, v)
+                if is_out:
+                    inside_out[u].append((v, w))
+                else:
+                    inside_in[u].append((v, w))
+            else:
+                cv = outside_cell.get(v)
+                if cv is None:
+                    cv = cell_of(level, v)
+                    outside_cell[v] = cv
+                if is_out:
+                    exit_edges.append((u, v, w))
+                else:
+                    enter_edges.append((v, u, w))
+            for axis, side in u_strips:
+                if not _in_strip(region, cv, axis, side):
+                    border[(axis, side)].add(u)
+            key = (u, v) if is_out else (v, u)
+            dedup = (key[0], key[1], True)
+            if dedup in seen_pairs:
+                continue
+            seen_pairs.add(dedup)
+            a, b = key
+            a_in = a in inside_set
+            b_in = b in inside_set
+            for axis, pos, lo, hi, main, cross_idx in axes_info:
+                if _segment_crosses_bisector(
+                    xs[a], ys[a], xs[b], ys[b], pos, lo, hi, main, cross_idx
+                ):
+                    crossing[axis].append((a, b, w, a_in, b_in))
+
+    for axis, pos, lo, hi, main, cross_idx in axes_info:
+        outside_side = {
+            v: _endpoint_side(region, c, axis) for v, c in outside_cell.items()
+        }
+        problems.append(
+            _RegionProblem(
+                inside_out=inside_out,
+                inside_in=inside_in,
+                west_inside=sorted(border[(axis, -1)]),
+                east_inside=sorted(border[(axis, 1)]),
+                enter_edges=enter_edges,
+                exit_edges=exit_edges,
+                outside_side=outside_side,
+                crossing=crossing[axis],
+                expandable=expandable,
+            )
+        )
+    return problems
+
+
+def region_arterial_edges(
+    graph: Graph,
+    node_grid: NodeGrid,
+    region: Region,
+    nodes: Optional[Sequence[int]] = None,
+    max_region_nodes: Optional[int] = None,
+    fly_edges: Optional[Sequence[Tuple[int, int, float]]] = None,
+) -> Set[Tuple[int, int]]:
+    """Exact arterial edges of one region (both bisectors, all ties).
+
+    ``nodes`` restricts the interior to a subset (used on alive sets);
+    ``max_region_nodes`` raises :class:`RegionTooLargeError` when the
+    interior would exceed it.
+    """
+    if nodes is None:
+        buckets = node_grid.buckets(region.level)
+        inside: List[int] = []
+        for dx in range(4):
+            for dy in range(4):
+                inside.extend(buckets.get((region.rx + dx, region.ry + dy), ()))
+    else:
+        inside = [
+            u
+            for u in nodes
+            if region.contains_cell(node_grid.cell_of(region.level, u))
+        ]
+    if max_region_nodes is not None and len(inside) > max_region_nodes:
+        raise RegionTooLargeError(
+            f"region {region} holds {len(inside)} nodes (cap {max_region_nodes})"
+        )
+    out_adj, in_adj = graph.out, graph.inn
+
+    def adjacency(u: int):
+        return [(v, w, True) for v, w in out_adj[u]] + [
+            (v, w, False) for v, w in in_adj[u]
+        ]
+
+    marked: Set[Tuple[int, int]] = set()
+    for problem in build_region_problems(node_grid, region, inside, adjacency):
+        if problem.crossing:
+            marked |= _solve_region_axis(problem)
+    if fly_edges is None:
+        fly_edges = long_edges(graph, node_grid, region.level)
+    marked |= _mark_fly_edges(graph, node_grid, region, fly_edges)
+    return marked
+
+
+def long_edges(
+    graph: Graph, node_grid: NodeGrid, level: int
+) -> List[Tuple[int, int, float]]:
+    """Edges spanning >= 3 cells of ``R_level`` — the only edges able to
+    fly over a 4x4 region without either endpoint being inside it.
+
+    :func:`arterial_dimension_stats` precomputes this once per level and
+    shares it across all regions of the sweep.
+    """
+    edges: List[Tuple[int, int, float]] = []
+    cell_of = node_grid.cell_of
+    for u, v, w in graph.edges():
+        cu = cell_of(level, u)
+        cv = cell_of(level, v)
+        if max(abs(cu[0] - cv[0]), abs(cu[1] - cv[1])) >= 3:
+            edges.append((u, v, w))
+    return edges
+
+
+def _mark_fly_edges(
+    graph: Graph,
+    node_grid: NodeGrid,
+    region: Region,
+    fly_edges: Sequence[Tuple[int, int, float]],
+) -> Set[Tuple[int, int]]:
+    """Single-edge spanning paths whose endpoints both lie outside ``B``.
+
+    Such an edge crosses the region boundary twice — still one edge, so
+    still a local path (Definition 1) — and is its own spanning path when
+    it crosses a bisector between valid opposite-side endpoint columns.
+    (When a shorter multi-hop local route exists between its endpoints
+    the mark is conservative: harmless over-marking, see module docs.)
+    """
+    marked: Set[Tuple[int, int]] = set()
+    if not fly_edges:
+        return marked
+    pyramid = node_grid.pyramid
+    xs, ys = graph.xs, graph.ys
+    level = region.level
+    for axis in ("vertical", "horizontal"):
+        pos, lo, hi, main, cross = _axis_info(region, pyramid, axis)
+        for u, v, w in fly_edges:
+            cu = node_grid.cell_of(level, u)
+            cv = node_grid.cell_of(level, v)
+            if region.contains_cell(cu) or region.contains_cell(cv):
+                continue  # an inside endpoint was handled by the solver
+            su = _endpoint_side(region, cu, axis)
+            sv = _endpoint_side(region, cv, axis)
+            if su is None or sv is None or su == sv:
+                continue
+            if _segment_crosses_bisector(
+                xs[u], ys[u], xs[v], ys[v], pos, lo, hi, main, cross
+            ):
+                marked.add((u, v))
+    return marked
+
+
+# ----------------------------------------------------------------------
+# Figure 3: arterial dimension statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArterialStats:
+    """Arterial-edge count statistics for one grid resolution.
+
+    Mirrors Figure 3's series: mean, 90% / 99% quantiles and max of the
+    per-region arterial edge count over all non-empty 4x4 regions.
+    """
+
+    level: int
+    resolution: int  # r such that the grid has 2^r cells per side
+    regions: int
+    skipped: int  # regions over the node cap (reported, not silently lost)
+    mean: float
+    q90: int
+    q99: int
+    max: int
+
+    @staticmethod
+    def from_counts(
+        level: int, resolution: int, counts: Sequence[int], skipped: int
+    ) -> "ArterialStats":
+        """Aggregate raw per-region counts into the figure's statistics."""
+        if not counts:
+            return ArterialStats(level, resolution, 0, skipped, 0.0, 0, 0, 0)
+        ordered = sorted(counts)
+        k = len(ordered)
+
+        def quantile(q: float) -> int:
+            return ordered[min(k - 1, int(q * k))]
+
+        return ArterialStats(
+            level=level,
+            resolution=resolution,
+            regions=k,
+            skipped=skipped,
+            mean=sum(ordered) / k,
+            q90=quantile(0.90),
+            q99=quantile(0.99),
+            max=ordered[-1],
+        )
+
+
+def arterial_dimension_stats(
+    graph: Graph,
+    pyramid: Optional[GridPyramid] = None,
+    levels: Optional[Iterable[int]] = None,
+    max_region_nodes: int = 4000,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[ArterialStats]:
+    """Reproduce Figure 3: arterial-edge statistics per grid resolution.
+
+    For each grid ``R_i`` (optionally restricted via ``levels``), sweeps
+    every non-empty 4x4 region, computes its exact arterial edge count,
+    and aggregates mean / 90% / 99% / max.  Regions whose interior
+    exceeds ``max_region_nodes`` are skipped and counted in ``skipped``
+    (the exact sweep is quadratic in region size — the very FC
+    bottleneck the paper motivates AH with).
+    """
+    if pyramid is None:
+        pyramid = GridPyramid.from_graph(graph)
+    node_grid = NodeGrid(graph, pyramid)
+    wanted = list(levels) if levels is not None else list(pyramid.levels())
+    out: List[ArterialStats] = []
+    for i in wanted:
+        region_map = nonempty_regions(node_grid, i)
+        counts: List[int] = []
+        skipped = 0
+        total = len(region_map)
+        fly = long_edges(graph, node_grid, i)
+        for done, region in enumerate(region_map):
+            try:
+                marked = region_arterial_edges(
+                    graph,
+                    node_grid,
+                    region,
+                    max_region_nodes=max_region_nodes,
+                    fly_edges=fly,
+                )
+            except RegionTooLargeError:
+                skipped += 1
+                continue
+            counts.append(len(marked))
+            if progress is not None and done % 256 == 0:
+                progress(done, total)
+        out.append(
+            ArterialStats.from_counts(i, pyramid.h + 2 - i, counts, skipped)
+        )
+    return out

@@ -1,0 +1,476 @@
+"""Node-level assignment: exact (FC, Section 3) and incremental (AH, §4.2).
+
+Both FC and AH classify every node into levels ``0..h`` such that the
+*covering property* holds: any shortest path that two nodes far apart in
+grid ``R_i`` (no common 3x3-cell region) must traverse contains a node of
+level ``>= i`` (Lemma 3).  That property is what licenses the proximity
+constraint and the elevating-edge jumps at query time.
+
+* :func:`exact_levels` computes arterial edges of every region of every
+  grid directly on the input graph — conceptually simple but quadratic in
+  region size, exactly the FC preprocessing bottleneck the paper
+  describes; usable for small networks and for cross-validating the
+  incremental algorithm.
+
+* :func:`assign_levels` is AH's scalable variant: it sweeps the grids
+  from fine to coarse, marking *cores* (endpoints of pseudo-arterial
+  edges) per level, then reduces the working graph to the cores plus the
+  border nodes of the next grid, bridging removed nodes with shortcuts
+  tagged by their generating region (the paper's *coverage condition*
+  keeps those shortcuts from leaking length information across regions).
+
+Both variants mark tie-inclusively (every minimum-length spanning path
+counts), which makes the covering property independent of the weight
+perturbation of Appendix A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph
+from ..spatial.grid import GridPyramid, NodeGrid
+from ..spatial.regions import Region, nonempty_regions, regions_covering_cell
+from .arterial import (
+    _local_dijkstra,
+    _solve_region_axis,
+    build_region_problems,
+    region_arterial_edges,
+)
+
+__all__ = ["LevelAssignment", "assign_levels", "exact_levels"]
+
+INF = float("inf")
+
+# A generating region, encoded as its bounding box in finest-grid cell
+# units: (x0, y0, x1, y1).  Boxes make the coverage condition a four-int
+# comparison instead of a dataclass method call in the hottest loop.
+_Box = Tuple[int, int, int, int]
+# Overlay edge payload: (weight, generating boxes or None for originals).
+_Gens = Optional[Tuple[_Box, ...]]
+
+
+def _region_box(region: Region) -> _Box:
+    """Region extent in finest-grid cell units."""
+    s = region.level - 1
+    return (
+        region.rx << s,
+        region.ry << s,
+        (region.rx + 4) << s,
+        (region.ry + 4) << s,
+    )
+
+
+@dataclass
+class LevelAssignment:
+    """Result of a level-assignment run.
+
+    Attributes
+    ----------
+    levels:
+        ``levels[u]`` is the node's level in ``0..h``.
+    h:
+        Number of grids in the pyramid.
+    pyramid, node_grid:
+        The spatial structures the levels are defined against (queries
+        reuse them for the proximity constraint).
+    pseudo_arterial:
+        ``pseudo_arterial[i]`` is the paper's ``S_i`` — the (pseudo-)
+        arterial edges whose endpoints were promoted to level ``i``; the
+        §4.4 vertex-cover ordering consumes these.
+    region_counts:
+        When collected: per level, the list of per-region (pseudo-)
+        arterial edge counts — the reduced-graph analogue of Figure 3
+        used on networks too large for the exact sweep.
+    alive_history:
+        Working-graph node counts per iteration (diagnostic for the
+        geometric-shrinkage claim of §4.2).
+    border_by_level:
+        Definition-2 border nodes per grid level (cumulative from the
+        coarse end); consumed by the elevating-edge construction.
+    """
+
+    levels: List[int]
+    h: int
+    pyramid: GridPyramid
+    node_grid: NodeGrid
+    pseudo_arterial: Dict[int, List[Tuple[int, int]]]
+    region_counts: Optional[Dict[int, List[int]]] = None
+    alive_history: List[int] = field(default_factory=list)
+    border_by_level: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def max_level(self) -> int:
+        """Highest level actually assigned."""
+        return max(self.levels) if self.levels else 0
+
+    def level_sizes(self) -> Dict[int, int]:
+        """Histogram: level -> node count."""
+        sizes: Dict[int, int] = {}
+        for lv in self.levels:
+            sizes[lv] = sizes.get(lv, 0) + 1
+        return sizes
+
+
+# ----------------------------------------------------------------------
+# Exact variant (FC)
+# ----------------------------------------------------------------------
+def exact_levels(
+    graph: Graph,
+    pyramid: Optional[GridPyramid] = None,
+    max_region_nodes: int = 20_000,
+) -> LevelAssignment:
+    """FC's level assignment: exact arterial edges on the full graph.
+
+    Edge level = the coarsest grid where the edge is arterial for some
+    region; node level = max level over incident edges (Section 3.1).
+    """
+    if pyramid is None:
+        pyramid = GridPyramid.from_graph(graph)
+    node_grid = NodeGrid(graph, pyramid)
+    edge_level: Dict[Tuple[int, int], int] = {}
+    pseudo: Dict[int, List[Tuple[int, int]]] = {i: [] for i in pyramid.levels()}
+    for i in pyramid.levels():
+        for region in nonempty_regions(node_grid, i):
+            marked = region_arterial_edges(
+                graph, node_grid, region, max_region_nodes=max_region_nodes
+            )
+            for e in marked:
+                if edge_level.get(e, 0) < i:
+                    edge_level[e] = i
+    for e, lv in edge_level.items():
+        pseudo[lv].append(e)
+    levels = [0] * graph.n
+    for (u, v), lv in edge_level.items():
+        if levels[u] < lv:
+            levels[u] = lv
+        if levels[v] < lv:
+            levels[v] = lv
+    return LevelAssignment(
+        levels=levels,
+        h=pyramid.h,
+        pyramid=pyramid,
+        node_grid=node_grid,
+        pseudo_arterial=pseudo,
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental variant (AH)
+# ----------------------------------------------------------------------
+class _Overlay:
+    """Dynamic reduced graph: original edges plus box-tagged shortcuts."""
+
+    __slots__ = ("fwd", "bwd")
+
+    def __init__(self, graph: Graph) -> None:
+        self.fwd: Dict[int, Dict[int, Tuple[float, _Gens]]] = {
+            u: {} for u in graph.nodes()
+        }
+        self.bwd: Dict[int, Dict[int, Tuple[float, _Gens]]] = {
+            u: {} for u in graph.nodes()
+        }
+        for u, v, w in graph.edges():
+            cur = self.fwd[u].get(v)
+            if cur is None or w < cur[0]:
+                self.fwd[u][v] = (w, None)
+                self.bwd[v][u] = (w, None)
+
+    def add_shortcut(self, u: int, v: int, w: float, box: _Box) -> None:
+        """Insert/merge a shortcut generated from the region ``box``.
+
+        A strictly cheaper shortcut replaces the stored edge; an
+        equal-weight one unions the generating boxes (all are valid
+        certificates for the coverage condition); costlier ones are
+        dropped.  Original edges (``gens is None``) are usable anywhere,
+        so they are never replaced by a tagged copy of equal weight.
+        """
+        cur = self.fwd[u].get(v)
+        if cur is not None:
+            cw, cgens = cur
+            if w > cw:
+                return
+            if w == cw:
+                if cgens is None or box in cgens:
+                    return
+                gens = cgens + (box,)
+                self.fwd[u][v] = (cw, gens)
+                self.bwd[v][u] = (cw, gens)
+                return
+        payload = (w, (box,))
+        self.fwd[u][v] = payload
+        self.bwd[v][u] = payload
+
+    def drop_nodes(self, dead: Set[int]) -> None:
+        """Remove nodes and their incident edges from the overlay."""
+        for u in dead:
+            for v in self.fwd[u]:
+                if v not in dead:
+                    del self.bwd[v][u]
+            for v in self.bwd[u]:
+                if v not in dead:
+                    del self.fwd[v][u]
+            del self.fwd[u]
+            del self.bwd[u]
+
+    def covered_adjacency(self, rbox: _Box):
+        """Adjacency callback honouring the coverage condition for the
+        region with box ``rbox`` (see :func:`build_region_problems`)."""
+        fwd, bwd = self.fwd, self.bwd
+        x0, y0, x1, y1 = rbox
+
+        def adjacency(u: int):
+            edges = []
+            for v, (w, gens) in fwd[u].items():
+                if gens is None or _covered(gens, x0, y0, x1, y1):
+                    edges.append((v, w, True))
+            for v, (w, gens) in bwd[u].items():
+                if gens is None or _covered(gens, x0, y0, x1, y1):
+                    edges.append((v, w, False))
+            return edges
+
+        return adjacency
+
+
+def _covered(gens: Tuple[_Box, ...], x0: int, y0: int, x1: int, y1: int) -> bool:
+    """True when some generating box lies inside the region box."""
+    for gx0, gy0, gx1, gy1 in gens:
+        if gx0 >= x0 and gy0 >= y0 and gx1 <= x1 and gy1 <= y1:
+            return True
+    return False
+
+
+def _border_nodes(
+    graph: Graph, node_grid: NodeGrid, level: int, candidates: Set[int]
+) -> Set[int]:
+    """Nodes among ``candidates`` that are border nodes of some 4x4 region
+    of ``R_level`` (Definition 2).
+
+    A node with an original-graph edge whose endpoints fall in *different*
+    cells of ``R_level`` is a border node of some placement: the 16
+    placements covering its cell put their strip-boundary lines on every
+    nearby grid line, and at least one of them keeps the node outside the
+    centre 2x2 block.  Nodes whose every edge stays within their own cell
+    can never cross a strip boundary.  This cell-based test is a slight
+    superset of Definition 2 near the grid border, which only makes the
+    reduction retain marginally more nodes (a conservative, correctness-
+    preserving direction).
+    """
+    border: Set[int] = set()
+    cell_of = node_grid.cell_of
+    for u in candidates:
+        cu = cell_of(level, u)
+        found = False
+        for v, _w in graph.out[u]:
+            if cell_of(level, v) != cu:
+                found = True
+                break
+        if not found:
+            for v, _w in graph.inn[u]:
+                if cell_of(level, v) != cu:
+                    found = True
+                    break
+        if found:
+            border.add(u)
+    return border
+
+
+def _region_inside(
+    node_grid: NodeGrid, region: Region, buckets: Dict[Tuple[int, int], List[int]]
+) -> List[int]:
+    inside: List[int] = []
+    for dx in range(4):
+        for dy in range(4):
+            members = buckets.get((region.rx + dx, region.ry + dy))
+            if members:
+                inside.extend(members)
+    return inside
+
+
+def _create_region_shortcuts(
+    overlay: _Overlay,
+    rbox: _Box,
+    inside: Sequence[int],
+    adj: Dict[int, List[Tuple[int, float]]],
+    exit_edges: Sequence[Tuple[int, int, float]],
+    enter_edges: Sequence[Tuple[int, int, float]],
+    endpoint_set: Set[int],
+    interior_ok: Set[int],
+) -> None:
+    """Add shortcuts for local shortest paths inside ``region``.
+
+    Endpoints come from ``endpoint_set`` (new cores and border nodes,
+    §4.2); interiors are restricted to ``interior_ok`` (alive nodes that
+    were *not* promoted).  Fringe nodes one crossing-edge outside the
+    region may serve as the far endpoint, never as interior.  The
+    coverage-filtered adjacency ``adj`` and boundary edge lists are
+    reused from the marking pass's extraction (identical region, box and
+    filter).
+    """
+    if not any(u in interior_ok for u in inside):
+        return  # every inside node survives: direct edges already suffice
+    exits: Dict[int, List[Tuple[int, float]]] = {}
+    for u, v, w in exit_edges:
+        if v in endpoint_set:
+            exits.setdefault(u, []).append((v, w))
+
+    for u in inside:
+        if u not in endpoint_set:
+            continue
+        dist = _local_dijkstra(
+            [(u, 0.0)], adj, expandable=interior_ok, seed_nodes={u}
+        )
+        for x, d in dist.items():
+            if x != u and x in endpoint_set:
+                overlay.add_shortcut(u, x, d, rbox)
+            # Reaching x then leaving by one crossing edge ends the path;
+            # x is then interior, so it must be a permitted interior node
+            # (or the source itself).
+            if x == u or x in interior_ok:
+                for v, w in exits.get(x, ()):
+                    if v != u:
+                        overlay.add_shortcut(u, v, d + w, rbox)
+
+    # Paths entering from a fringe endpoint: group that endpoint's entry
+    # edges and run one search per fringe node.
+    entries: Dict[int, List[Tuple[int, float]]] = {}
+    for f, u, w in enter_edges:
+        if f in endpoint_set:
+            entries.setdefault(f, []).append((u, w))
+    for f, seeds in entries.items():
+        dist = _local_dijkstra(seeds, adj, expandable=interior_ok)
+        for x, d in dist.items():
+            if x != f and x in endpoint_set:
+                overlay.add_shortcut(f, x, d, rbox)
+
+
+def assign_levels(
+    graph: Graph,
+    pyramid: Optional[GridPyramid] = None,
+    collect_region_counts: bool = False,
+    progress: Optional[Callable[[int, int, int], None]] = None,
+) -> LevelAssignment:
+    """AH's incremental level assignment (Section 4.2, Appendix D.1).
+
+    Iterates grids fine-to-coarse; at iteration ``i`` it marks level-``i``
+    cores as endpoints of pseudo-arterial edges found on the reduced
+    graph, assigns the un-promoted cores their final level ``i-1``,
+    bridges soon-to-drop nodes with region-tagged shortcuts, and shrinks
+    the working graph to the new cores plus the border nodes of the next
+    grid.
+
+    ``progress(iteration, alive, regions)`` is called once per grid.
+    """
+    if pyramid is None:
+        pyramid = GridPyramid.from_graph(graph)
+    node_grid = NodeGrid(graph, pyramid)
+    h = pyramid.h
+    n = graph.n
+
+    overlay = _Overlay(graph)
+    levels = [0] * n
+    cores: Set[int] = set(graph.nodes())
+    alive: Set[int] = set(graph.nodes())
+    pseudo: Dict[int, List[Tuple[int, int]]] = {i: [] for i in pyramid.levels()}
+    region_counts: Optional[Dict[int, List[int]]] = (
+        {i: [] for i in pyramid.levels()} if collect_region_counts else None
+    )
+    alive_history = [n]
+
+    # Border sets are made cumulative from the coarse end so a node needed
+    # as a border endpoint at any *future* grid is retained early enough.
+    border_by_level: Dict[int, Set[int]] = {}
+    cumulative: Set[int] = set()
+    for i in range(h, 0, -1):
+        cumulative = cumulative | _border_nodes(graph, node_grid, i, alive)
+        border_by_level[i] = set(cumulative)
+
+    for i in pyramid.levels():
+        buckets = node_grid.buckets(i, alive)
+        cells_per_side = pyramid.cells_per_side(i)
+        regions: Set[Region] = set()
+        for cell in buckets:
+            regions.update(regions_covering_cell(cell, cells_per_side, i))
+
+        # ---- pass 1: mark level-i cores via pseudo-arterial edges ----
+        marked_edges: Set[Tuple[int, int]] = set()
+        new_cores: Set[int] = set()
+        extraction: Dict[Region, Tuple] = {}
+        for region in regions:
+            inside = _region_inside(node_grid, region, buckets)
+            if not inside:
+                continue
+            rbox = _region_box(region)
+            adjacency = overlay.covered_adjacency(rbox)
+            found: Set[Tuple[int, int]] = set()
+            problems = build_region_problems(
+                node_grid, region, inside, adjacency, expandable=cores
+            )
+            first = problems[0]
+            extraction[region] = (
+                inside,
+                rbox,
+                first.inside_out,
+                first.exit_edges,
+                first.enter_edges,
+            )
+            for problem in problems:
+                if problem.crossing and (
+                    problem.west_inside
+                    or problem.east_inside
+                    or problem.enter_edges
+                    or problem.exit_edges
+                ):
+                    found |= _solve_region_axis(problem)
+            if region_counts is not None:
+                region_counts[i].append(len(found))
+            for a, b in found:
+                marked_edges.add((a, b))
+                new_cores.add(a)
+                new_cores.add(b)
+        # Only alive nodes can be promoted (fringe marks refer to alive
+        # nodes by construction, but guard anyway).
+        new_cores &= alive
+        pseudo[i] = sorted(marked_edges)
+        for u in new_cores:
+            levels[u] = i
+
+        # ---- pass 2: shortcuts bridging nodes about to be dropped ----
+        next_border = border_by_level.get(i + 1, set())
+        keep = (new_cores | (next_border & alive)) if i < h else set(new_cores)
+        interior_ok = alive - new_cores
+        endpoint_set = (new_cores | next_border) & alive
+        for region, (inside, rbox, adj, exit_edges, enter_edges) in extraction.items():
+            if len(inside) < 2:
+                continue
+            _create_region_shortcuts(
+                overlay,
+                rbox,
+                inside,
+                adj,
+                exit_edges,
+                enter_edges,
+                endpoint_set,
+                interior_ok,
+            )
+
+        dead = alive - keep
+        overlay.drop_nodes(dead)
+        cores = new_cores
+        alive = keep
+        alive_history.append(len(alive))
+        if progress is not None:
+            progress(i, len(alive), len(regions))
+        if not alive:
+            break
+
+    return LevelAssignment(
+        levels=levels,
+        h=h,
+        pyramid=pyramid,
+        node_grid=node_grid,
+        pseudo_arterial=pseudo,
+        region_counts=region_counts,
+        alive_history=alive_history,
+        border_by_level=border_by_level,
+    )

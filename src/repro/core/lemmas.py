@@ -1,0 +1,180 @@
+"""Executable versions of the paper's key lemmas.
+
+The paper proves Lemmas 1-4 under Assumption 1 (bounded arterial
+dimension) and Assumption 2 (unique local shortest paths).  This module
+turns them into *empirical checkers* that the test suite and the
+benchmark harness run against concrete networks and level assignments —
+the "bridging theory and practice" of the title, made machine-checkable:
+
+* :func:`check_density_bound` — Lemmas 1/4: every ``(α x α)``-cell region
+  of ``R_i`` contains boundedly many nodes of level ``>= i``.
+* :func:`check_covering_property` — Lemma 3: for sampled node pairs not
+  covered by a common 3x3-cell region of ``R_i``, a shortest path between
+  them passes through a node of level ``>= i``.
+* :func:`check_sliding_window` — Lemma 7 / Lemma 2's engine: the
+  SlidingWindow construction really does return a region whose bisector
+  the sub-path crosses with valid endpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..graph.traversal import dijkstra_tree
+from ..spatial.grid import NodeGrid
+from .sliding_window import sliding_window
+
+__all__ = [
+    "DensityReport",
+    "check_density_bound",
+    "CoveringViolation",
+    "check_covering_property",
+    "check_sliding_window",
+]
+
+
+@dataclass(frozen=True)
+class DensityReport:
+    """Per-level density of high-level nodes (Lemma 1 / Lemma 4 check).
+
+    ``max_per_region[i]`` is the largest number of nodes with level >= i
+    found in any 4x4-cell region of ``R_i``; Lemma 4 predicts these stay
+    bounded by O(λ²) independent of n.
+    """
+
+    max_per_region: Dict[int, int]
+    mean_per_region: Dict[int, float]
+
+    def bounded_by(self, cap: int) -> bool:
+        """True when every level's max density is at most ``cap``."""
+        return all(v <= cap for v in self.max_per_region.values())
+
+
+def check_density_bound(
+    node_grid: NodeGrid, levels: Sequence[int]
+) -> DensityReport:
+    """Measure Lemma 4's node-density statistic for every grid level."""
+    pyramid = node_grid.pyramid
+    max_per: Dict[int, int] = {}
+    mean_per: Dict[int, float] = {}
+    for i in pyramid.levels():
+        high = [u for u in range(len(levels)) if levels[u] >= i]
+        if not high:
+            max_per[i] = 0
+            mean_per[i] = 0.0
+            continue
+        buckets: Dict[Tuple[int, int], int] = {}
+        for u in high:
+            cell = node_grid.cell_of(i, u)
+            buckets[cell] = buckets.get(cell, 0) + 1
+        # Count per 4x4 region via the cells it covers (sliding windows).
+        region_counts: Dict[Tuple[int, int], int] = {}
+        cells_per_side = pyramid.cells_per_side(i)
+        for (cx, cy), cnt in buckets.items():
+            for rx in range(max(cx - 3, 0), min(cx, cells_per_side - 4) + 1):
+                for ry in range(max(cy - 3, 0), min(cy, cells_per_side - 4) + 1):
+                    key = (rx, ry)
+                    region_counts[key] = region_counts.get(key, 0) + cnt
+        counts = list(region_counts.values())
+        max_per[i] = max(counts) if counts else 0
+        mean_per[i] = sum(counts) / len(counts) if counts else 0.0
+    return DensityReport(max_per_region=max_per, mean_per_region=mean_per)
+
+
+@dataclass(frozen=True)
+class CoveringViolation:
+    """A sampled pair whose shortest path dodged every high-level node."""
+
+    source: int
+    target: int
+    level: int
+    path: Tuple[int, ...]
+
+
+def check_covering_property(
+    graph: Graph,
+    node_grid: NodeGrid,
+    levels: Sequence[int],
+    samples: int = 200,
+    seed: int = 0,
+) -> List[CoveringViolation]:
+    """Empirically test Lemma 3 on random pairs.
+
+    For each sampled source, walks a full shortest-path tree and checks,
+    for every target and every grid level ``i`` separating the pair (no
+    common 3x3-cell region), that the tree path contains a node of level
+    ``>= i``.  Returns all violations found (ideally none).
+    """
+    rng = random.Random(seed)
+    violations: List[CoveringViolation] = []
+    n = graph.n
+    pyramid = node_grid.pyramid
+    sources = [rng.randrange(n) for _ in range(max(1, samples // 50))]
+    per_source = max(1, samples // len(sources))
+    for s in sources:
+        dist, parent = dijkstra_tree(graph, s)
+        targets = rng.sample(sorted(dist), min(per_source, len(dist)))
+        for t in targets:
+            if t == s:
+                continue
+            path: List[int] = [t]
+            x = t
+            while x != s:
+                x = parent[x]
+                path.append(x)
+            path.reverse()
+            max_level_on_path = max(levels[u] for u in path)
+            for i in range(pyramid.h, 0, -1):
+                if node_grid.chebyshev_cells(i, s, t) <= 2:
+                    continue
+                # Endpoints count: Lemma 3 says "go through a node at
+                # level >= i", which may be an interior or an endpoint.
+                if max_level_on_path < i:
+                    violations.append(
+                        CoveringViolation(s, t, i, tuple(path))
+                    )
+                break  # coarser levels are implied by the break structure
+    return violations
+
+
+def check_sliding_window(
+    node_grid: NodeGrid, path: Sequence[int], level: int
+) -> Optional[str]:
+    """Validate the SlidingWindow output for one path and level.
+
+    Returns ``None`` when the construction is consistent (or vacuous), or
+    a human-readable description of the violated clause.
+    """
+    result = sliding_window(node_grid, path, level)
+    cells = [node_grid.cell_of(level, u) for u in path]
+    min_x = min(c[0] for c in cells)
+    max_x = max(c[0] for c in cells)
+    min_y = min(c[1] for c in cells)
+    max_y = max(c[1] for c in cells)
+    separated = max_x - min_x >= 3 or max_y - min_y >= 3
+    if result is None:
+        if separated:
+            return "no region found although the path spans >= 4 cells"
+        return None
+    a, b = result.subpath
+    if not 0 <= a < b < len(path):
+        return f"bad sub-path indices {result.subpath}"
+    region = result.region
+    sub_cells = cells[a : b + 1]
+    if result.axis == "vertical":
+        offsets = [c[0] - region.rx for c in sub_cells]
+    else:
+        offsets = [c[1] - region.ry for c in sub_cells]
+    first, last = offsets[0], offsets[-1]
+    if (first <= 1) == (last <= 1):
+        return f"endpoints on the same bisector side (offsets {first}, {last})"
+    if first in (1, 2) or last in (1, 2):
+        return f"endpoint adjacent to the bisector (offsets {first}, {last})"
+    # All but at most the final node must be covered by the region.
+    for c in sub_cells[:-1]:
+        if not region.contains_cell(c):
+            return f"interior cell {c} escapes region {region}"
+    return None

@@ -1,0 +1,128 @@
+"""Node ranking and selection (Section 4.4).
+
+AH's shortcut construction needs a strict total order on the nodes of
+each level.  The paper's heuristic: build the graph formed by the level's
+pseudo-arterial edges ``S_i``, compute a greedy vertex cover ``ξ`` (the
+classic "repeatedly take the node covering the most uncovered edges"
+approximation), give the ``i``-th node of ``ξ`` the ``i``-th *highest*
+rank within the level, and push cores outside the cover to the bottom —
+optionally *downgrading* them a level entirely, which is safe because a
+vertex cover keeps at least one endpoint of every pseudo-arterial edge at
+the original level, preserving the covering property behind Lemma 3.
+Level-0 nodes are ordered randomly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["RankAssignment", "greedy_vertex_cover", "compute_ranks"]
+
+
+def greedy_vertex_cover(edges: Sequence[Tuple[int, int]]) -> List[int]:
+    """Greedy max-degree vertex cover of the (undirected) edge set.
+
+    Returns the selection sequence ``ξ``: the first node covers the most
+    edges, each subsequent node covers the most edges disjoint from the
+    previously selected nodes.  Self-loops are ignored; duplicate and
+    reverse edges collapse.
+    """
+    adjacency: Dict[int, set] = {}
+    for u, v in edges:
+        if u == v:
+            continue
+        a, b = (u, v) if u < v else (v, u)
+        adjacency.setdefault(a, set()).add(b)
+        adjacency.setdefault(b, set()).add(a)
+    heap: List[Tuple[int, int]] = [(-len(nbrs), u) for u, nbrs in adjacency.items()]
+    heapify(heap)
+    xi: List[int] = []
+    while heap:
+        neg_deg, u = heappop(heap)
+        nbrs = adjacency.get(u)
+        if nbrs is None:
+            continue
+        if -neg_deg != len(nbrs):
+            # Stale entry: reinsert with the current degree (lazy update).
+            if nbrs:
+                heappush(heap, (-len(nbrs), u))
+            continue
+        if not nbrs:
+            continue
+        xi.append(u)
+        for v in list(nbrs):
+            adjacency[v].discard(u)
+        del adjacency[u]
+    return xi
+
+
+@dataclass(frozen=True)
+class RankAssignment:
+    """Output of :func:`compute_ranks`.
+
+    Attributes
+    ----------
+    rank:
+        ``rank[u]`` in ``0 .. n-1``; higher means more important.  The
+        contraction order of :func:`repro.baselines.ch.contract_graph`
+        is exactly ascending rank.
+    levels:
+        Node levels *after* the optional downgrading step.
+    order:
+        Node ids sorted by ascending rank (``order[rank[u]] == u``).
+    """
+
+    rank: List[int]
+    levels: List[int]
+    order: List[int]
+
+
+def compute_ranks(
+    levels: Sequence[int],
+    pseudo_arterial: Dict[int, Sequence[Tuple[int, int]]],
+    downgrade: bool = True,
+    seed: int = 0,
+) -> RankAssignment:
+    """Derive the strict total order of §4.4 from levels and ``S_i`` sets.
+
+    Within level ``i >= 1``: nodes outside the vertex cover of ``S_i``
+    rank lowest (random order), then the cover sequence reversed (the
+    first-selected hub ranks highest).  With ``downgrade=True`` the
+    non-cover cores drop to level ``i - 1`` instead (the paper's
+    query-speed optimisation).  Level-0 nodes are ordered randomly.
+    """
+    n = len(levels)
+    rng = random.Random(seed)
+    eff_levels = list(levels)
+    max_level = max(eff_levels) if n else 0
+
+    in_cover_pos: Dict[int, int] = {}  # node -> position in its level's xi
+    for i in range(max_level, 0, -1):
+        edges = pseudo_arterial.get(i, ())
+        level_nodes = {u for u in range(n) if eff_levels[u] == i}
+        xi = [u for u in greedy_vertex_cover(edges) if u in level_nodes]
+        for pos, u in enumerate(xi):
+            in_cover_pos[u] = pos
+        if downgrade:
+            cover = set(xi)
+            for u in level_nodes:
+                if u not in cover:
+                    eff_levels[u] = i - 1
+
+    def sort_key(u: int) -> Tuple[int, int, float]:
+        lv = eff_levels[u]
+        pos = in_cover_pos.get(u)
+        if pos is None:
+            # Non-cover / level-0 nodes: below every cover node, shuffled.
+            return (lv, 0, rng.random())
+        # Cover nodes: earlier in xi = more important = later contraction.
+        return (lv, 1, -pos)
+
+    order = sorted(range(n), key=sort_key)
+    rank = [0] * n
+    for pos, u in enumerate(order):
+        rank[u] = pos
+    return RankAssignment(rank=rank, levels=eff_levels, order=order)

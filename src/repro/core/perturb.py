@@ -1,0 +1,112 @@
+"""Weight perturbation for unique shortest paths (Appendix A).
+
+The paper's analysis assumes no two local shortest paths share endpoints
+and length (Assumption 2), enforced by adding to each edge a random
+integer *nuance* ``ρ(e) ∈ [0, τ-1]`` and comparing paths by
+``(length, nuance)`` lexicographically.  Theorem 2 shows
+``τ ≥ 32·h·n³·C(Δ,2)`` makes Assumption 2 hold with probability
+``≥ 1 − 1/n``.
+
+Our implementation realises the lexicographic comparison numerically: all
+weights are scaled by a factor ``S`` and each edge receives a nuance in
+``[0, S / (n+1))``, so any simple path's perturbed length is
+``S · length + Σ nuance`` with the nuance term too small to reorder paths
+of different true length (for integral true lengths), while breaking ties
+between equal-length paths — the paper's "multiple narrow-range integers"
+remark implemented with one scaled integer per edge.
+:meth:`PerturbedGraph.unperturb_distance` inverts the transform.
+
+Note that the *correctness* of this package's indexes never depends on
+perturbation (arterial marking is tie-inclusive, see
+:mod:`repro.core.arterial`); the module exists for faithfulness and for
+experiments on the paper's uniqueness machinery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..graph.graph import Graph
+
+__all__ = ["PerturbedGraph", "perturb_weights", "recommended_tau"]
+
+
+def recommended_tau(graph: Graph, h: int) -> int:
+    """Theorem 2's lower bound for ``τ``: ``32·h·n³·C(Δ,2)``."""
+    n = graph.n
+    delta = graph.max_degree()
+    pairs = delta * (delta - 1) // 2 if delta >= 2 else 1
+    return 32 * max(1, h) * n ** 3 * pairs
+
+
+@dataclass(frozen=True)
+class PerturbedGraph:
+    """A graph with tie-breaking nuances folded into its weights.
+
+    Attributes
+    ----------
+    graph:
+        The perturbed graph; every weight is ``scale * w + nuance(e)``.
+    scale:
+        The multiplier ``S`` applied to original weights.
+    nuances:
+        Map from directed edge to its integer nuance.
+    integral:
+        True when every original weight was an integer, in which case
+        :meth:`unperturb_distance` is exact.
+    """
+
+    graph: Graph
+    scale: float
+    nuances: Dict[Tuple[int, int], int]
+    integral: bool
+
+    def unperturb_distance(self, perturbed: float) -> float:
+        """Recover the original-weight distance from a perturbed one.
+
+        Exact for integral original weights (the nuance share of any
+        simple path is below ``scale``); otherwise the closest rational
+        approximation ``perturbed / scale``.
+        """
+        if perturbed == float("inf"):
+            return perturbed
+        if self.integral:
+            return float(int(perturbed // self.scale))
+        return perturbed / self.scale
+
+    def nuance_of(self, u: int, v: int) -> int:
+        """Nuance assigned to edge ``u -> v``."""
+        return self.nuances[(u, v)]
+
+
+def perturb_weights(graph: Graph, seed: int = 0) -> PerturbedGraph:
+    """Apply Appendix A's perturbation and return the perturbed graph.
+
+    The nuance range is ``[0, B)`` with ``B = max(2, n)`` and the scale
+    ``S = B · (n + 1)``: a simple path has at most ``n - 1`` edges, so it
+    accumulates strictly less than ``S`` of nuance.  For integer original
+    weights the true distance is therefore always ``perturbed // S`` and
+    path ordering by true length is preserved exactly; among equal-length
+    paths, nuances break ties uniformly at random, which is Assumption
+    2's mechanism.
+    """
+    rng = random.Random(seed)
+    n = graph.n
+    nuance_bound = max(2, n)
+    scale = float(nuance_bound * (n + 1))
+    nuances: Dict[Tuple[int, int], int] = {}
+    integral = True
+    out = []
+    for u in graph.nodes():
+        adj = []
+        for v, w in graph.out[u]:
+            rho = rng.randrange(nuance_bound)
+            nuances[(u, v)] = rho
+            adj.append((v, scale * w + rho))
+            if integral and not float(w).is_integer():
+                integral = False
+        out.append(adj)
+    perturbed = Graph(graph.xs, graph.ys, out)
+    return PerturbedGraph(perturbed, scale, nuances, integral)

@@ -1,0 +1,189 @@
+"""Compact binary serialization of AH indexes.
+
+The paper's §7 names the index's memory footprint as future work ("as is
+the case for mobile devices").  This module provides a dependency-free
+binary format for the query-time state of an :class:`AHIndex` — levels,
+ranks, the upward search graphs with their two-hop middles, and the grid
+pyramid — using ``array``-packed primitives rather than pickle, so the
+on-disk footprint is close to the information-theoretic content and the
+file is loadable without trusting arbitrary code execution.
+
+Format (little-endian)::
+
+    magic  b"AHIDX1\\n"
+    header: n, h, flags, then pyramid origin_x/origin_y/side as doubles
+    arrays: levels[n] (int32), rank[n] (int32)
+    up_out: counts[n] (int32), targets (int32), weights (float64),
+            middles (int32, -1 for original edges)
+    up_in:  same layout
+
+Elevating tables are *not* serialized (they are an optional query
+accelerator, cheaply rebuilt); a loaded index answers every query the
+saved one did, with ``elevating`` off.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import BinaryIO, List, Optional, Tuple, Union
+
+from ..baselines.ch import ContractionResult
+from ..graph.graph import Graph
+from ..spatial.grid import GridPyramid, NodeGrid
+from .ah import AHIndex
+
+__all__ = ["save_index", "load_index", "index_bytes"]
+
+_MAGIC = b"AHIDX1\n"
+
+_FLAG_PROXIMITY = 1
+_FLAG_STALL = 2
+
+
+def _write_adjacency(
+    fh: BinaryIO, adjacency: List[List[Tuple[int, float, Optional[int]]]]
+) -> None:
+    counts = array("i", (len(adj) for adj in adjacency))
+    targets = array("i")
+    middles = array("i")
+    weights = array("d")
+    for adj in adjacency:
+        for v, w, mid in adj:
+            targets.append(v)
+            weights.append(w)
+            middles.append(-1 if mid is None else mid)
+    counts.tofile(fh)
+    fh.write(struct.pack("<q", len(targets)))
+    targets.tofile(fh)
+    weights.tofile(fh)
+    middles.tofile(fh)
+
+
+def _read_adjacency(
+    fh: BinaryIO, n: int
+) -> List[List[Tuple[int, float, Optional[int]]]]:
+    counts = array("i")
+    counts.fromfile(fh, n)
+    (total,) = struct.unpack("<q", fh.read(8))
+    targets = array("i")
+    targets.fromfile(fh, total)
+    weights = array("d")
+    weights.fromfile(fh, total)
+    middles = array("i")
+    middles.fromfile(fh, total)
+    adjacency: List[List[Tuple[int, float, Optional[int]]]] = []
+    pos = 0
+    for count in counts:
+        adj = []
+        for _ in range(count):
+            mid = middles[pos]
+            adj.append((targets[pos], weights[pos], None if mid < 0 else mid))
+            pos += 1
+        adjacency.append(adj)
+    return adjacency
+
+
+def save_index(index: AHIndex, sink: Union[str, BinaryIO]) -> None:
+    """Write the query-time state of ``index`` to ``sink``."""
+    fh: BinaryIO
+    own = isinstance(sink, str)
+    fh = open(sink, "wb") if own else sink  # type: ignore[assignment]
+    try:
+        res = index._res
+        flags = (_FLAG_PROXIMITY if index.proximity else 0) | (
+            _FLAG_STALL if index.stall_on_demand else 0
+        )
+        pyramid = index.node_grid.pyramid
+        fh.write(_MAGIC)
+        fh.write(
+            struct.pack(
+                "<iii3d",
+                index.graph.n,
+                index.h,
+                flags,
+                pyramid.origin_x,
+                pyramid.origin_y,
+                pyramid.side,
+            )
+        )
+        array("i", index.levels).tofile(fh)
+        array("i", res.rank).tofile(fh)
+        _write_adjacency(fh, res.up_out)
+        _write_adjacency(fh, res.up_in)
+    finally:
+        if own:
+            fh.close()
+
+
+def load_index(source: Union[str, BinaryIO], graph: Graph) -> AHIndex:
+    """Reconstruct a queryable :class:`AHIndex` from ``source``.
+
+    ``graph`` must be the network the index was built on (used for path
+    validation metadata and the node-to-cell mapping); a node-count
+    mismatch is rejected.
+    """
+    own = isinstance(source, str)
+    fh = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError("not an AH index file (bad magic)")
+        n, h, flags, ox, oy, side = struct.unpack("<iii3d", fh.read(36))
+        if n != graph.n:
+            raise ValueError(
+                f"index was built for {n} nodes but the graph has {graph.n}"
+            )
+        levels = array("i")
+        levels.fromfile(fh, n)
+        rank = array("i")
+        rank.fromfile(fh, n)
+        up_out = _read_adjacency(fh, n)
+        up_in = _read_adjacency(fh, n)
+    finally:
+        if own:
+            fh.close()
+
+    middle = {}
+    shortcut_count = 0
+    for u, adj in enumerate(up_out):
+        for v, w, mid in adj:
+            if mid is not None:
+                middle[(u, v)] = mid
+                shortcut_count += 1
+    for u, adj in enumerate(up_in):
+        for v, w, mid in adj:
+            if mid is not None and (v, u) not in middle:
+                middle[(v, u)] = mid
+                shortcut_count += 1
+
+    index = AHIndex.__new__(AHIndex)
+    index.graph = graph
+    index.proximity = bool(flags & _FLAG_PROXIMITY)
+    index.stall_on_demand = bool(flags & _FLAG_STALL)
+    index.use_elevating = False
+    index.build_times = {}
+    index.assignment = None  # not serialized; query path never reads it
+    index.ranking = None
+    index.levels = list(levels)
+    index.h = h
+    index.node_grid = NodeGrid(graph, GridPyramid(ox, oy, side, h))
+    index._res = ContractionResult(
+        rank=list(rank),
+        up_out=up_out,
+        up_in=up_in,
+        middle=middle,
+        shortcut_count=shortcut_count,
+    )
+    index._elev_f = {}
+    index._elev_b = {}
+    return index
+
+
+def index_bytes(index: AHIndex) -> int:
+    """Size of the serialized index in bytes (Figure 10a in real units)."""
+    import io
+
+    buf = io.BytesIO()
+    save_index(index, buf)
+    return buf.tell()

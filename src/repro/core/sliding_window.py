@@ -1,0 +1,113 @@
+"""The SlidingWindow algorithm (Appendix B, Figure 13).
+
+Given a path ``P`` and a grid ``R_i`` such that no 3x3-cell region of
+``R_i`` covers all of ``P``, SlidingWindow returns a 4x4-cell region
+``B`` of ``R_i`` together with a sub-path ``P'`` of ``P`` that is a
+*spanning path candidate* of ``B``: its endpoints lie on opposite sides
+of one of ``B``'s bisectors in non-adjacent columns, and every node of
+``P'`` except possibly its jumping endpoint is covered by ``B``
+(Lemma 7).  The paper uses the algorithm purely inside proofs; we
+implement it executably because it turns Lemma 2 / Lemma 3 into
+machine-checkable properties (:mod:`repro.core.lemmas`).
+
+Construction (following Figure 13, with the jump cases of Lemma 7 spelled
+out): scan the path until the cell-space bounding box of the scanned
+prefix first reaches 4 cells in width or height at node ``v_theta``; the
+trigger node is then a strict extreme along the triggering axis, and the
+region is anchored so that the opposite extreme of the prefix sits in the
+far outer strip while the body ``v_1 .. v_{theta-1}`` (whose span is at
+most 3x3 cells) is fully covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..spatial.grid import NodeGrid
+from ..spatial.regions import Region
+
+__all__ = ["SlidingWindowResult", "sliding_window"]
+
+
+@dataclass(frozen=True)
+class SlidingWindowResult:
+    """Output of :func:`sliding_window`.
+
+    Attributes
+    ----------
+    region:
+        The located 4x4-cell region ``B`` of ``R_level``.
+    subpath:
+        Indices ``(a, b)`` (inclusive) into the input path delimiting the
+        spanning sub-path ``P'``.
+    axis:
+        ``"vertical"`` when ``P'`` spans west-east, ``"horizontal"`` for
+        south-north.
+    """
+
+    region: Region
+    subpath: Tuple[int, int]
+    axis: str
+
+
+def sliding_window(
+    node_grid: NodeGrid, path: Sequence[int], level: int
+) -> Optional[SlidingWindowResult]:
+    """Locate a region of ``R_level`` spanned by a sub-path of ``path``.
+
+    Returns ``None`` when the whole path fits inside a 3x3-cell region of
+    ``R_level`` (the negation of Lemma 2's premise).
+    """
+    if not path:
+        return None
+    cells = [node_grid.cell_of(level, u) for u in path]
+    min_x = max_x = cells[0][0]
+    min_y = max_y = cells[0][1]
+    theta = None
+    for j, (cx, cy) in enumerate(cells):
+        min_x = min(min_x, cx)
+        max_x = max(max_x, cx)
+        min_y = min(min_y, cy)
+        max_y = max(max_y, cy)
+        if max_x - min_x >= 3 or max_y - min_y >= 3:
+            theta = j
+            break
+    if theta is None:
+        return None
+
+    prefix = cells[: theta + 1]
+    body = prefix[:-1]  # v_1 .. v_{theta-1}; non-empty because theta >= 1
+    # The triggering axis: x if the width reached 4 cells first.
+    span_x = max(c[0] for c in prefix) - min(c[0] for c in prefix)
+    coord = 0 if span_x >= 3 else 1
+    other = 1 - coord
+    values = [c[coord] for c in prefix]
+    mn, mx = min(values), max(values)
+    alpha = values.index(mn)
+    beta = values.index(mx)
+    a, b = (alpha, beta) if alpha <= beta else (beta, alpha)
+
+    body_vals = [c[coord] for c in body]
+    trigger = values[theta]
+    if trigger == mx and trigger > max(body_vals):
+        # Jumped toward the high side: anchor at the body's minimum so the
+        # low extreme sits in the low strip; the trigger node lies at
+        # column offset >= 3 (in or beyond the high strip).
+        lo_main = mn
+    else:
+        # Jumped toward the low side: anchor so the body's maximum sits in
+        # the high strip; the trigger lies at column offset <= 0.
+        lo_main = max(body_vals) - 3
+
+    grid_cells = node_grid.pyramid.cells_per_side(level)
+    lo_other = min(c[other] for c in body)
+    lo_other = max(0, min(lo_other, grid_cells - 4))
+    lo_main = max(0, min(lo_main, grid_cells - 4))
+    if coord == 0:
+        region = Region(level, lo_main, lo_other)
+        axis = "vertical"
+    else:
+        region = Region(level, lo_other, lo_main)
+        axis = "horizontal"
+    return SlidingWindowResult(region=region, subpath=(a, b), axis=axis)

@@ -1,0 +1,39 @@
+"""Datasets: synthetic road networks, the scaled Table-2 suite, workloads."""
+
+from .paper_graph import PAPER_NODE_NAMES, PAPER_REGION_B, paper_figure1
+from .suite import SUITE, SuiteSpec, dataset, dataset_spec, suite_table
+from .synthetic import (
+    SPEED_ARTERIAL,
+    SPEED_HIGHWAY,
+    SPEED_LOCAL,
+    grid_city,
+    random_geometric,
+    towns_and_highways,
+)
+from .workloads import (
+    NUM_BUCKETS,
+    QueryWorkloads,
+    estimate_lmax,
+    generate_workloads,
+)
+
+__all__ = [
+    "grid_city",
+    "towns_and_highways",
+    "random_geometric",
+    "SPEED_LOCAL",
+    "SPEED_ARTERIAL",
+    "SPEED_HIGHWAY",
+    "paper_figure1",
+    "PAPER_NODE_NAMES",
+    "PAPER_REGION_B",
+    "SUITE",
+    "SuiteSpec",
+    "dataset",
+    "dataset_spec",
+    "suite_table",
+    "QueryWorkloads",
+    "estimate_lmax",
+    "generate_workloads",
+    "NUM_BUCKETS",
+]

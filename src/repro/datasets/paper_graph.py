@@ -1,0 +1,77 @@
+"""The running example of the paper (Figures 1, 2 and 4) as a real graph.
+
+The 11-node road network ``G`` of Figure 1 is reconstructed with
+coordinates matching the 8x8 grid of Figure 4, so that the region ``B``
+discussed throughout Sections 2-4 (min corner at cell ``(1, 2)``) exhibits
+exactly the properties the text claims:
+
+* ``<v9, v6, v10, v8>`` and ``<v11, v7, v4>`` are spanning paths of ``B``;
+* ``<v6, v10>`` and ``<v11, v7>`` are arterial edges of ``B``;
+* ``v1, v2, v9, v11`` and ``v3, v4, v7, v8`` are border nodes of ``B``;
+* ``v6`` and ``v10`` are *not* border nodes (they sit in the centre 2x2);
+* the shortest path from ``v9`` to ``v10`` passes only through ``v6``
+  (weight 2), and the one from ``v8`` to ``v9`` passes through ``v10``;
+* ``dist(v1, v10) = w(v1,v11) + w(v11,v10) = 4``.
+
+These facts are locked in by ``tests/test_paper_graph.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+
+__all__ = ["paper_figure1", "PAPER_NODE_NAMES", "PAPER_REGION_B"]
+
+# Cell (column, row) of each node in the 8x8 grid of Figure 4; nodes sit at
+# cell centres of a unit-cell grid anchored at the origin.
+_CELLS: Dict[str, Tuple[int, int]] = {
+    "v1": (0, 3),
+    "v2": (0, 4),
+    "v3": (5, 4),
+    "v4": (5, 2),
+    "v5": (2, 5),
+    "v6": (2, 4),
+    "v7": (3, 2),
+    "v8": (4, 5),
+    "v9": (1, 5),
+    "v10": (3, 4),
+    "v11": (1, 2),
+}
+
+# Bidirectional edges with the figure's weights (legend: weight 1 or 2).
+_EDGES = [
+    ("v1", "v11", 2.0),
+    ("v2", "v9", 1.0),
+    ("v9", "v5", 2.0),
+    ("v5", "v8", 2.0),
+    ("v9", "v6", 1.0),
+    ("v6", "v10", 1.0),
+    ("v10", "v8", 1.0),
+    ("v10", "v11", 2.0),
+    ("v11", "v7", 1.0),
+    ("v7", "v4", 1.0),
+    ("v7", "v8", 2.0),
+    ("v8", "v3", 1.0),
+]
+
+#: Min-corner cell of the 4x4 region ``B`` of Figure 4, in the 8x8 grid.
+PAPER_REGION_B = (1, 2)
+
+#: ``PAPER_NODE_NAMES[i]`` is the paper's name for node id ``i``.
+PAPER_NODE_NAMES = tuple(f"v{i}" for i in range(1, 12))
+
+
+def paper_figure1() -> Graph:
+    """Build the Figure-1 road network; node ``v{i}`` has id ``i - 1``."""
+    builder = GraphBuilder()
+    for name in PAPER_NODE_NAMES:
+        cx, cy = _CELLS[name]
+        builder.add_node(cx + 0.5, cy + 0.5)
+    for a, b, w in _EDGES:
+        ia = PAPER_NODE_NAMES.index(a)
+        ib = PAPER_NODE_NAMES.index(b)
+        builder.add_bidirectional_edge(ia, ib, w)
+    return builder.build()

@@ -1,0 +1,338 @@
+"""Synthetic road-network generators.
+
+The paper evaluates on ten DIMACS USA road networks which we cannot ship
+in this offline environment, so these generators produce networks with the
+same *structural* property the paper's whole approach rests on: a small
+arterial dimension (Assumption 1), arising from an explicit road hierarchy
+— a few fast long-haul roads (highways), a sparse mid-tier (arterials) and
+a dense slow local mesh.  Figure 3's reproduction measures the arterial
+dimension of these networks to validate the substitution.
+
+Three families are provided:
+
+* :func:`grid_city` — a Manhattan-style mesh whose every ``a``-th row or
+  column is an arterial and every ``g``-th a highway (faster traversal).
+* :func:`towns_and_highways` — small grid towns scattered in the plane,
+  their centres joined by a planar highway graph (Delaunay/Gabriel), the
+  classic "cities + interstates" shape of the paper's datasets.
+* :func:`random_geometric` — a k-nearest-neighbour geometric graph; *not*
+  road-like (unbounded arterial dimension in theory), used for
+  robustness testing of the indexes.
+
+All weights are travel times (edge length / speed), matching the paper's
+datasets, and all generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+
+__all__ = [
+    "grid_city",
+    "towns_and_highways",
+    "random_geometric",
+    "SPEED_LOCAL",
+    "SPEED_ARTERIAL",
+    "SPEED_HIGHWAY",
+]
+
+# Speeds in coordinate-units per time-unit.  With blocks of 100 units these
+# correspond to plausible 30 / 60 / 90 km/h road tiers.
+SPEED_LOCAL = 10.0
+SPEED_ARTERIAL = 20.0
+SPEED_HIGHWAY = 30.0
+
+
+def _tier_speed(index: int, arterial_every: int, highway_every: int) -> float:
+    """Speed of the road running along row/column ``index``."""
+    if highway_every and index % highway_every == 0:
+        return SPEED_HIGHWAY
+    if arterial_every and index % arterial_every == 0:
+        return SPEED_ARTERIAL
+    return SPEED_LOCAL
+
+
+def _euclid(ax: float, ay: float, bx: float, by: float) -> float:
+    return math.hypot(ax - bx, ay - by)
+
+
+def grid_city(
+    width: int,
+    height: int,
+    *,
+    block: float = 100.0,
+    arterial_every: int = 4,
+    highway_every: int = 16,
+    jitter: float = 0.2,
+    prune: float = 0.15,
+    oneway: float = 0.0,
+    seed: int = 0,
+    origin: Tuple[float, float] = (0.0, 0.0),
+) -> Graph:
+    """Generate a Manhattan grid city with a three-tier road hierarchy.
+
+    Parameters
+    ----------
+    width, height:
+        Number of intersections per axis (total ``width * height`` nodes).
+    block:
+        Distance between adjacent intersections.
+    arterial_every, highway_every:
+        Every ``arterial_every``-th row/column is an arterial, every
+        ``highway_every``-th a highway; pass 0 to disable a tier.
+    jitter:
+        Fraction of ``block`` by which intersections are displaced
+        (avoids coordinate ties, which would force the grid pyramid to
+        its depth cap).
+    prune:
+        Fraction of *local* street segments deleted, making the mesh
+        irregular.  A random spanning tree is protected so the network
+        stays strongly connected.
+    oneway:
+        Fraction of surviving non-tree local streets converted to one-way
+        (a directed edge); the protected tree keeps strong connectivity.
+    seed:
+        RNG seed; identical inputs yield identical networks.
+    origin:
+        Min corner of the city in the plane (used to place several cities
+        side by side).
+    """
+    if width < 2 or height < 2:
+        raise ValueError("grid_city needs width >= 2 and height >= 2")
+    if not 0 <= prune < 1 or not 0 <= oneway <= 1:
+        raise ValueError("prune must be in [0,1) and oneway in [0,1]")
+    rng = random.Random(seed)
+    builder = GraphBuilder()
+    ox, oy = origin
+    node_id: List[List[int]] = [[0] * height for _ in range(width)]
+    for cx in range(width):
+        for cy in range(height):
+            jx = rng.uniform(-jitter, jitter) * block
+            jy = rng.uniform(-jitter, jitter) * block
+            node_id[cx][cy] = builder.add_node(ox + cx * block + jx, oy + cy * block + jy)
+
+    # Enumerate undirected segments with their road tier speed.
+    segments: List[Tuple[int, int, float]] = []
+    xs, ys = builder._xs, builder._ys  # noqa: SLF001 - same-package fast path
+    for cx in range(width):
+        for cy in range(height):
+            u = node_id[cx][cy]
+            if cx + 1 < width:  # horizontal street along row cy
+                v = node_id[cx + 1][cy]
+                segments.append((u, v, _tier_speed(cy, arterial_every, highway_every)))
+            if cy + 1 < height:  # vertical street along column cx
+                v = node_id[cx][cy + 1]
+                segments.append((u, v, _tier_speed(cx, arterial_every, highway_every)))
+
+    protected = _random_spanning_tree(builder.node_count, segments, rng)
+    for idx, (u, v, speed) in enumerate(segments):
+        weight = _euclid(xs[u], ys[u], xs[v], ys[v]) / speed
+        is_local = speed == SPEED_LOCAL
+        if idx not in protected and is_local:
+            if rng.random() < prune:
+                continue
+            if oneway and rng.random() < oneway:
+                if rng.random() < 0.5:
+                    builder.add_edge(u, v, weight)
+                else:
+                    builder.add_edge(v, u, weight)
+                continue
+        builder.add_bidirectional_edge(u, v, weight)
+    return builder.build()
+
+
+def _random_spanning_tree(
+    n: int, segments: Sequence[Tuple[int, int, float]], rng: random.Random
+) -> set:
+    """Indices of segments forming a random spanning tree (union-find).
+
+    Protecting these from pruning keeps the generated network connected
+    (bidirectional tree edges give strong connectivity).
+    """
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    order = list(range(len(segments)))
+    rng.shuffle(order)
+    tree: set = set()
+    for idx in order:
+        u, v, _ = segments[idx]
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            tree.add(idx)
+            if len(tree) == n - 1:
+                break
+    return tree
+
+
+def towns_and_highways(
+    n_towns: int,
+    town_width: int = 6,
+    town_height: int = 6,
+    *,
+    area: float = 50_000.0,
+    block: float = 100.0,
+    min_separation_blocks: int = 12,
+    seed: int = 0,
+    prune: float = 0.1,
+) -> Graph:
+    """Generate scattered grid towns joined by a planar highway network.
+
+    Town centres are sampled with a minimum separation; each town is a
+    small :func:`grid_city`-style mesh; centres are connected by the
+    Gabriel graph of the centre points (a planar, sparse, realistic
+    inter-city road layout) using highway speed.
+
+    This family most closely mimics the paper's datasets: long shortest
+    paths are forced onto the few highways, which is exactly what keeps
+    the arterial dimension small.
+    """
+    if n_towns < 2:
+        raise ValueError("need at least two towns")
+    rng = random.Random(seed)
+    min_sep = min_separation_blocks * block
+    town_span = max(town_width, town_height) * block
+    centres: List[Tuple[float, float]] = []
+    attempts = 0
+    while len(centres) < n_towns:
+        attempts += 1
+        if attempts > 200 * n_towns:
+            raise ValueError(
+                "could not place towns; lower n_towns or min_separation_blocks"
+            )
+        x = rng.uniform(town_span, area - town_span)
+        y = rng.uniform(town_span, area - town_span)
+        if all(_euclid(x, y, cx, cy) >= min_sep + town_span for cx, cy in centres):
+            centres.append((x, y))
+
+    builder = GraphBuilder()
+    centre_nodes: List[int] = []
+    for t, (cx, cy) in enumerate(centres):
+        first_id = builder.node_count
+        town = grid_city(
+            town_width,
+            town_height,
+            block=block,
+            arterial_every=3,
+            highway_every=0,
+            jitter=0.2,
+            prune=prune,
+            seed=rng.randrange(1 << 30),
+            origin=(cx - town_width * block / 2, cy - town_height * block / 2),
+        )
+        for u in town.nodes():
+            builder.add_node(town.xs[u], town.ys[u])
+        for u, v, w in town.edges():
+            builder.add_edge(first_id + u, first_id + v, w)
+        # The town's most central intersection is its highway interchange.
+        mid = first_id + (town_width // 2) * town_height + town_height // 2
+        centre_nodes.append(mid)
+
+    for a, b in _gabriel_edges(centres):
+        u, v = centre_nodes[a], centre_nodes[b]
+        w = _euclid(builder._xs[u], builder._ys[u], builder._xs[v], builder._ys[v])
+        builder.add_bidirectional_edge(u, v, w / SPEED_HIGHWAY)
+    graph = builder.build()
+    return graph
+
+
+def _gabriel_edges(points: Sequence[Tuple[float, float]]) -> List[Tuple[int, int]]:
+    """Gabriel graph edges: (a, b) kept iff no point lies strictly inside
+    the circle with diameter ab.  Planar and connected; O(k^3) which is
+    fine for the town counts we use (k <= a few hundred)."""
+    k = len(points)
+    edges: List[Tuple[int, int]] = []
+    for a in range(k):
+        ax, ay = points[a]
+        for b in range(a + 1, k):
+            bx, by = points[b]
+            mx, my = (ax + bx) / 2, (ay + by) / 2
+            r2 = ((ax - bx) ** 2 + (ay - by) ** 2) / 4
+            ok = True
+            for c in range(k):
+                if c == a or c == b:
+                    continue
+                px, py = points[c]
+                if (px - mx) ** 2 + (py - my) ** 2 < r2 - 1e-12:
+                    ok = False
+                    break
+            if ok:
+                edges.append((a, b))
+    return edges
+
+
+def random_geometric(
+    n: int,
+    k: int = 4,
+    *,
+    area: float = 10_000.0,
+    speed: float = SPEED_LOCAL,
+    seed: int = 0,
+) -> Graph:
+    """k-nearest-neighbour geometric graph (robustness testing).
+
+    Connects every node to its ``k`` nearest neighbours bidirectionally,
+    then stitches connected components together through their closest
+    node pairs so the result is strongly connected.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(seed)
+    pts = [(rng.uniform(0, area), rng.uniform(0, area)) for _ in range(n)]
+    builder = GraphBuilder()
+    for x, y in pts:
+        builder.add_node(x, y)
+
+    def knn(u: int) -> List[int]:
+        ux, uy = pts[u]
+        dists = sorted(
+            (math.hypot(ux - px, uy - py), v) for v, (px, py) in enumerate(pts) if v != u
+        )
+        return [v for _, v in dists[:k]]
+
+    for u in range(n):
+        for v in knn(u):
+            w = _euclid(*pts[u], *pts[v]) / speed
+            builder.add_bidirectional_edge(u, v, w)
+
+    # Stitch components: union-find over current edges, then join each
+    # component to the main one via the geometrically closest pair.
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for (u, v) in list(builder._edges.keys()):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    comps: Dict[int, List[int]] = {}
+    for u in range(n):
+        comps.setdefault(find(u), []).append(u)
+    comp_list = sorted(comps.values(), key=len, reverse=True)
+    main = comp_list[0]
+    for other in comp_list[1:]:
+        best = None
+        for u in other:
+            for v in main:
+                d = _euclid(*pts[u], *pts[v])
+                if best is None or d < best[0]:
+                    best = (d, u, v)
+        _, u, v = best
+        builder.add_bidirectional_edge(u, v, best[0] / speed)
+        main = main + other
+    return builder.build()

@@ -1,0 +1,38 @@
+"""Graph substrate: spatial directed graphs, IO, and exact traversals."""
+
+from .builder import GraphBuilder
+from .graph import Graph
+from .io import read_dimacs, write_dimacs
+from .path import Path, path_length, validate_path
+from .traversal import (
+    bidirectional_distance,
+    bidirectional_path,
+    dijkstra_distances,
+    dijkstra_tree,
+    distance_query,
+    multi_source_distances,
+    shortest_path_query,
+    shortest_path_tree,
+)
+from .validation import NetworkReport, analyze_network, check_road_network
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Path",
+    "path_length",
+    "validate_path",
+    "read_dimacs",
+    "write_dimacs",
+    "dijkstra_distances",
+    "dijkstra_tree",
+    "shortest_path_tree",
+    "distance_query",
+    "shortest_path_query",
+    "bidirectional_distance",
+    "bidirectional_path",
+    "multi_source_distances",
+    "NetworkReport",
+    "analyze_network",
+    "check_road_network",
+]

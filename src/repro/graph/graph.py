@@ -1,0 +1,164 @@
+"""Directed spatial graph substrate used by every index in this package.
+
+The paper models a road network as a directed, degree-bounded, connected
+graph whose nodes live in a two-dimensional space and whose edges carry a
+positive weight (Section 2).  :class:`Graph` is an immutable adjacency-list
+realisation of that model; mutation happens through
+:class:`repro.graph.builder.GraphBuilder`.
+
+Design notes
+------------
+* Nodes are dense integer ids ``0 .. n-1``; this keeps every per-node table
+  a plain Python list, which is the fastest container available without C
+  extensions.
+* Both out- and in-adjacency are stored because the bidirectional searches
+  used by FC, AH and CH traverse forward edges from the source and reverse
+  edges from the target.
+* Parallel edges are collapsed at build time (the minimum weight wins) so
+  that ``(u, v)`` uniquely identifies an edge; the arterial-edge machinery
+  of the paper identifies edges by their endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable directed graph with node coordinates.
+
+    Parameters
+    ----------
+    xs, ys:
+        Node coordinates; ``len(xs) == len(ys)`` defines the node count.
+    out_edges:
+        ``out_edges[u]`` is a list of ``(v, w)`` pairs for every directed
+        edge ``u -> v`` with weight ``w > 0``.
+
+    The constructor computes the reverse adjacency and basic statistics.
+    Use :class:`repro.graph.builder.GraphBuilder` instead of calling this
+    directly.
+    """
+
+    __slots__ = ("xs", "ys", "out", "inn", "_m", "_weight")
+
+    def __init__(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        out_edges: Sequence[Sequence[Tuple[int, float]]],
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have the same length")
+        if len(out_edges) != len(xs):
+            raise ValueError("out_edges must have one entry per node")
+        self.xs: List[float] = list(xs)
+        self.ys: List[float] = list(ys)
+        self.out: List[List[Tuple[int, float]]] = [list(adj) for adj in out_edges]
+        n = len(self.xs)
+        inn: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        m = 0
+        weight: Dict[Tuple[int, int], float] = {}
+        for u, adj in enumerate(self.out):
+            for v, w in adj:
+                if not 0 <= v < n:
+                    raise ValueError(f"edge ({u}, {v}) points outside the graph")
+                if w <= 0:
+                    raise ValueError(f"edge ({u}, {v}) has non-positive weight {w}")
+                inn[v].append((u, w))
+                weight[(u, v)] = w
+                m += 1
+        self.inn: List[List[Tuple[int, float]]] = inn
+        self._m = m
+        self._weight = weight
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.xs)
+
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return self._m
+
+    def nodes(self) -> range:
+        """Iterate over node ids."""
+        return range(self.n)
+
+    def coord(self, u: int) -> Tuple[float, float]:
+        """Return the ``(x, y)`` coordinate of node ``u``."""
+        return self.xs[u], self.ys[u]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every directed edge as ``(u, v, w)``."""
+        for u, adj in enumerate(self.out):
+            for v, w in adj:
+                yield u, v, w
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the directed edge ``u -> v`` exists."""
+        return (u, v) in self._weight
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Return the weight of edge ``u -> v``.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        return self._weight[(u, v)]
+
+    def out_degree(self, u: int) -> int:
+        """Number of outgoing edges of ``u``."""
+        return len(self.out[u])
+
+    def in_degree(self, u: int) -> int:
+        """Number of incoming edges of ``u``."""
+        return len(self.inn[u])
+
+    def degree(self, u: int) -> int:
+        """Total degree (in + out) of ``u``."""
+        return len(self.out[u]) + len(self.inn[u])
+
+    def max_degree(self) -> int:
+        """The largest total degree of any node (``Δ`` in Appendix A)."""
+        if self.n == 0:
+            return 0
+        return max(self.degree(u) for u in self.nodes())
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` over all nodes."""
+        if self.n == 0:
+            raise ValueError("empty graph has no bounding box")
+        return min(self.xs), min(self.ys), max(self.xs), max(self.ys)
+
+    def linf_diameter(self) -> float:
+        """Largest L∞ distance between any two nodes (``dmax`` in §1).
+
+        For axis-aligned point sets the L∞ diameter is attained on the
+        bounding box, so this is computed in O(n).
+        """
+        min_x, min_y, max_x, max_y = self.bounding_box()
+        return max(max_x - min_x, max_y - min_y)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reversed(self) -> "Graph":
+        """Return a new graph with every edge direction flipped."""
+        out = [[(u, w) for u, w in self.inn[v]] for v in self.nodes()]
+        return Graph(self.xs, self.ys, out)
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights; handy for perturbation bookkeeping."""
+        return sum(w for _, _, w in self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.m})"

@@ -1,0 +1,170 @@
+"""DIMACS shortest-path challenge format readers and writers.
+
+The paper's ten datasets come from the 9th DIMACS implementation challenge
+(reference [3]); each dataset is a pair of files:
+
+* ``*.gr`` — the weighted arc list: ``p sp <n> <m>`` header, then one
+  ``a <u> <v> <w>`` line per directed arc (1-based node ids, integer
+  weights that encode travel time).
+* ``*.co`` — the coordinates: ``p aux sp co <n>`` header, then one
+  ``v <id> <x> <y>`` line per node (integer longitude/latitude * 10^6).
+
+We implement both directions so (i) real DIMACS data can be dropped into
+the benchmarks unchanged, and (ii) our synthetic suite can be exported for
+use by other tools.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+from .builder import GraphBuilder
+from .graph import Graph
+
+__all__ = [
+    "read_dimacs",
+    "write_dimacs",
+    "read_gr",
+    "read_co",
+    "write_gr",
+    "write_co",
+]
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def _open_for_read(source: PathOrFile) -> Tuple[TextIO, bool]:
+    if isinstance(source, (str, os.PathLike)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def _open_for_write(sink: PathOrFile) -> Tuple[TextIO, bool]:
+    if isinstance(sink, (str, os.PathLike)):
+        return open(sink, "w", encoding="ascii"), True
+    return sink, False
+
+
+def read_gr(source: PathOrFile) -> Tuple[int, List[Tuple[int, int, float]]]:
+    """Parse a ``.gr`` arc file; return ``(n, arcs)`` with 0-based ids."""
+    fh, should_close = _open_for_read(source)
+    try:
+        n: Optional[int] = None
+        arcs: List[Tuple[int, int, float]] = []
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise ValueError(f"line {lineno}: malformed problem line {line!r}")
+                n = int(parts[2])
+            elif parts[0] == "a":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed arc line {line!r}")
+                u, v, w = int(parts[1]) - 1, int(parts[2]) - 1, float(parts[3])
+                arcs.append((u, v, w))
+            else:
+                raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+        if n is None:
+            raise ValueError("missing 'p sp' problem line")
+        return n, arcs
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_co(source: PathOrFile) -> Dict[int, Tuple[float, float]]:
+    """Parse a ``.co`` coordinate file; return ``{node: (x, y)}`` 0-based."""
+    fh, should_close = _open_for_read(source)
+    try:
+        coords: Dict[int, Tuple[float, float]] = {}
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                continue
+            if parts[0] == "v":
+                if len(parts) != 4:
+                    raise ValueError(f"line {lineno}: malformed node line {line!r}")
+                coords[int(parts[1]) - 1] = (float(parts[2]), float(parts[3]))
+            else:
+                raise ValueError(f"line {lineno}: unknown record {parts[0]!r}")
+        return coords
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_dimacs(gr_source: PathOrFile, co_source: Optional[PathOrFile] = None) -> Graph:
+    """Load a DIMACS graph (and optionally its coordinates) into a Graph.
+
+    Nodes missing from the coordinate file (or when no ``.co`` is given)
+    receive ``(0, 0)``; the spatial index layers require real coordinates,
+    so benchmarks always pass both files.
+    """
+    n, arcs = read_gr(gr_source)
+    coords = read_co(co_source) if co_source is not None else {}
+    builder = GraphBuilder()
+    for node in range(n):
+        x, y = coords.get(node, (0.0, 0.0))
+        builder.add_node(x, y)
+    for u, v, w in arcs:
+        builder.add_edge(u, v, w)
+    return builder.build()
+
+
+def write_gr(graph: Graph, sink: PathOrFile, comment: str = "") -> None:
+    """Write ``graph``'s arcs as a DIMACS ``.gr`` file (1-based ids)."""
+    fh, should_close = _open_for_write(sink)
+    try:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"c {line}\n")
+        fh.write(f"p sp {graph.n} {graph.m}\n")
+        for u, v, w in graph.edges():
+            if w == int(w):
+                fh.write(f"a {u + 1} {v + 1} {int(w)}\n")
+            else:
+                fh.write(f"a {u + 1} {v + 1} {w!r}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_co(graph: Graph, sink: PathOrFile, comment: str = "") -> None:
+    """Write ``graph``'s coordinates as a DIMACS ``.co`` file."""
+    fh, should_close = _open_for_write(sink)
+    try:
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"c {line}\n")
+        fh.write(f"p aux sp co {graph.n}\n")
+        for u in graph.nodes():
+            x, y = graph.coord(u)
+            if x == int(x) and y == int(y):
+                fh.write(f"v {u + 1} {int(x)} {int(y)}\n")
+            else:
+                fh.write(f"v {u + 1} {x!r} {y!r}\n")
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_dimacs(graph: Graph, gr_sink: PathOrFile, co_sink: PathOrFile) -> None:
+    """Write both the ``.gr`` and ``.co`` files for ``graph``."""
+    write_gr(graph, gr_sink)
+    write_co(graph, co_sink)
+
+
+def dumps(graph: Graph) -> Tuple[str, str]:
+    """Return the ``(gr, co)`` file contents as strings (testing helper)."""
+    gr_buf, co_buf = io.StringIO(), io.StringIO()
+    write_gr(graph, gr_buf)
+    write_co(graph, co_buf)
+    return gr_buf.getvalue(), co_buf.getvalue()

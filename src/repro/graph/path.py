@@ -1,0 +1,107 @@
+"""Path objects returned by shortest path queries, plus validation helpers.
+
+A shortest path query (Section 2 of the paper) returns a sequence of edges
+``e1..ek`` forming a path from ``s`` to ``t`` minimising total length.  We
+represent a path by its node sequence; the edge sequence is implied and is
+validated against the graph on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["Path", "path_length", "validate_path"]
+
+
+def path_length(graph: Graph, nodes: Sequence[int]) -> float:
+    """Sum the weights of the consecutive edges along ``nodes``.
+
+    Raises ``KeyError`` if any consecutive pair is not an edge of ``graph``.
+    A single-node path has length 0.
+    """
+    total = 0.0
+    for u, v in zip(nodes, nodes[1:]):
+        total += graph.edge_weight(u, v)
+    return total
+
+
+def validate_path(
+    graph: Graph,
+    nodes: Sequence[int],
+    source: int,
+    target: int,
+    expected_length: float = None,
+    rel_tol: float = 1e-9,
+) -> None:
+    """Assert that ``nodes`` is a genuine ``source -> target`` walk.
+
+    Checks, in order: endpoint identity, existence of every edge, and (when
+    ``expected_length`` is given) that the summed weight matches within
+    ``rel_tol``.  Raises ``ValueError`` on the first violation.  This is the
+    workhorse of the test suite: every index's shortest path answers pass
+    through it.
+    """
+    if not nodes:
+        raise ValueError("empty path")
+    if nodes[0] != source:
+        raise ValueError(f"path starts at {nodes[0]}, expected source {source}")
+    if nodes[-1] != target:
+        raise ValueError(f"path ends at {nodes[-1]}, expected target {target}")
+    total = 0.0
+    for u, v in zip(nodes, nodes[1:]):
+        if not graph.has_edge(u, v):
+            raise ValueError(f"path uses missing edge ({u}, {v})")
+        total += graph.edge_weight(u, v)
+    if expected_length is not None:
+        scale = max(abs(total), abs(expected_length), 1.0)
+        if abs(total - expected_length) > rel_tol * scale:
+            raise ValueError(
+                f"path length {total} does not match expected {expected_length}"
+            )
+
+
+@dataclass(frozen=True)
+class Path:
+    """A shortest path answer: node sequence plus its length.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids from source to target inclusive.
+    length:
+        Total weight of the path's edges (the distance-query answer).
+    """
+
+    nodes: Tuple[int, ...]
+    length: float
+
+    @classmethod
+    def from_nodes(cls, graph: Graph, nodes: Sequence[int]) -> "Path":
+        """Build a :class:`Path`, computing the length from ``graph``."""
+        return cls(tuple(nodes), path_length(graph, nodes))
+
+    @property
+    def source(self) -> int:
+        """First node of the path."""
+        return self.nodes[0]
+
+    @property
+    def target(self) -> int:
+        """Last node of the path."""
+        return self.nodes[-1]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of edges ``k`` on the path (the paper's ``k``)."""
+        return len(self.nodes) - 1
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Return the path as a list of ``(u, v)`` edges."""
+        return list(zip(self.nodes, self.nodes[1:]))
+
+    def validate(self, graph: Graph) -> None:
+        """Check this path against ``graph``; raise ``ValueError`` if bad."""
+        validate_path(graph, self.nodes, self.source, self.target, self.length)

@@ -1,0 +1,286 @@
+"""Dijkstra-based traversal primitives.
+
+These routines are both (i) the ground truth every index is tested against
+and (ii) building blocks inside the FC/AH/CH constructions, which all run
+many *local* Dijkstra searches (within grid regions, witness searches, SPT
+construction).  They are written for raw CPython speed: flat ``heapq``
+usage, lazy deletion, and local-variable binding in the hot loops.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .graph import Graph
+from .path import Path
+
+__all__ = [
+    "dijkstra_distances",
+    "dijkstra_tree",
+    "shortest_path_tree",
+    "distance_query",
+    "shortest_path_query",
+    "bidirectional_distance",
+    "bidirectional_path",
+    "multi_source_distances",
+]
+
+INF = float("inf")
+
+
+def dijkstra_distances(
+    graph: Graph,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+    cutoff: Optional[float] = None,
+    reverse: bool = False,
+) -> Dict[int, float]:
+    """Single-source shortest distances with optional early exit.
+
+    Parameters
+    ----------
+    targets:
+        If given, the search stops once every target has been settled.
+    cutoff:
+        If given, nodes farther than ``cutoff`` are not settled.
+    reverse:
+        Traverse incoming edges instead of outgoing ones, i.e. compute
+        distances *to* ``source`` (used by the backward half of
+        bidirectional searches and by backward SPTs, Definition 3).
+
+    Returns a dict mapping each settled node to its distance from (or to)
+    ``source``.
+    """
+    adj = graph.inn if reverse else graph.out
+    dist: Dict[int, float] = {source: 0.0}
+    settled: Dict[int, float] = {}
+    pending = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        settled[u] = d
+        if pending is not None:
+            pending.discard(u)
+            if not pending:
+                break
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return settled
+
+
+def dijkstra_tree(
+    graph: Graph,
+    source: int,
+    targets: Optional[Iterable[int]] = None,
+    cutoff: Optional[float] = None,
+    reverse: bool = False,
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Like :func:`dijkstra_distances` but also returns parent pointers.
+
+    ``parent[v]`` is the predecessor of ``v`` on a shortest path from
+    ``source`` (or the successor towards ``source`` when ``reverse``).
+    ``parent[source]`` is absent.
+    """
+    adj = graph.inn if reverse else graph.out
+    dist: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    settled: Dict[int, float] = {}
+    pending = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        settled[u] = d
+        if pending is not None:
+            pending.discard(u)
+            if not pending:
+                break
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+    # Drop parent entries of unsettled nodes so callers see a clean tree.
+    parent = {v: p for v, p in parent.items() if v in settled}
+    return settled, parent
+
+
+def shortest_path_tree(
+    graph: Graph, source: int, reverse: bool = False
+) -> Tuple[Dict[int, float], Dict[int, int]]:
+    """Full forward (or backward) shortest path tree rooted at ``source``.
+
+    This is Definition 3 of the paper.  Equivalent to
+    :func:`dijkstra_tree` without early exit; named separately because the
+    AH construction refers to SPTs explicitly.
+    """
+    return dijkstra_tree(graph, source, reverse=reverse)
+
+
+def distance_query(graph: Graph, source: int, target: int) -> float:
+    """Plain Dijkstra distance from ``source`` to ``target``.
+
+    Returns ``inf`` when ``target`` is unreachable.  This is the paper's
+    baseline [9] with early termination at the target.
+    """
+    settled = dijkstra_distances(graph, source, targets=(target,))
+    return settled.get(target, INF)
+
+
+def shortest_path_query(graph: Graph, source: int, target: int) -> Optional[Path]:
+    """Plain Dijkstra shortest path; ``None`` when unreachable."""
+    dist, parent = dijkstra_tree(graph, source, targets=(target,))
+    if target not in dist:
+        return None
+    nodes = _walk_parents(parent, source, target)
+    return Path(tuple(nodes), dist[target])
+
+
+def _walk_parents(parent: Dict[int, int], source: int, target: int) -> List[int]:
+    """Reconstruct ``source -> target`` from forward parent pointers."""
+    nodes = [target]
+    u = target
+    while u != source:
+        u = parent[u]
+        nodes.append(u)
+    nodes.reverse()
+    return nodes
+
+
+def bidirectional_distance(graph: Graph, source: int, target: int) -> float:
+    """Bidirectional Dijkstra distance.
+
+    Alternates forward search from ``source`` and backward search from
+    ``target``; terminates when the best meeting distance ``θ`` is no more
+    than the smallest key on either queue — the same stopping rule the
+    paper's FC query processing uses (Section 3.2).
+    """
+    d, _ = _bidirectional(graph, source, target, want_parents=False)
+    return d
+
+
+def bidirectional_path(graph: Graph, source: int, target: int) -> Optional[Path]:
+    """Bidirectional Dijkstra shortest path; ``None`` when unreachable."""
+    d, meet = _bidirectional(graph, source, target, want_parents=True)
+    if meet is None:
+        return None
+    node, parent_f, parent_b = meet
+    forward = _walk_parents(parent_f, source, node)
+    nodes = list(forward)
+    u = node
+    while u != target:
+        u = parent_b[u]
+        nodes.append(u)
+    return Path(tuple(nodes), d)
+
+
+def _bidirectional(
+    graph: Graph, source: int, target: int, want_parents: bool
+) -> Tuple[float, Optional[Tuple[int, Dict[int, int], Dict[int, int]]]]:
+    """Shared bidirectional engine; returns distance and meeting info."""
+    if source == target:
+        return 0.0, (source, {}, {})
+    dist_f: Dict[int, float] = {source: 0.0}
+    dist_b: Dict[int, float] = {target: 0.0}
+    parent_f: Dict[int, int] = {}
+    parent_b: Dict[int, int] = {}
+    settled_f: set = set()
+    settled_b: set = set()
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    best = INF
+    best_node: Optional[int] = None
+    out = graph.out
+    inn = graph.inn
+    while heap_f or heap_b:
+        top_f = heap_f[0][0] if heap_f else INF
+        top_b = heap_b[0][0] if heap_b else INF
+        if best <= min(top_f, top_b):
+            break
+        # Expand the side with the smaller frontier key (balanced growth).
+        if top_f <= top_b:
+            d, u = heappop(heap_f)
+            if u in settled_f:
+                continue
+            settled_f.add(u)
+            du_b = dist_b.get(u)
+            if du_b is not None and d + du_b < best:
+                best = d + du_b
+                best_node = u
+            for v, w in out[u]:
+                nd = d + w
+                if nd < dist_f.get(v, INF):
+                    dist_f[v] = nd
+                    if want_parents:
+                        parent_f[v] = u
+                    heappush(heap_f, (nd, v))
+        else:
+            d, u = heappop(heap_b)
+            if u in settled_b:
+                continue
+            settled_b.add(u)
+            du_f = dist_f.get(u)
+            if du_f is not None and d + du_f < best:
+                best = d + du_f
+                best_node = u
+            for v, w in inn[u]:
+                nd = d + w
+                if nd < dist_b.get(v, INF):
+                    dist_b[v] = nd
+                    if want_parents:
+                        parent_b[v] = u
+                    heappush(heap_b, (nd, v))
+    if best_node is None:
+        return INF, None
+    return best, (best_node, parent_f, parent_b)
+
+
+def multi_source_distances(
+    graph: Graph,
+    sources: Iterable[Tuple[int, float]],
+    cutoff: Optional[float] = None,
+    reverse: bool = False,
+    allow: Optional[Callable[[int], bool]] = None,
+) -> Dict[int, float]:
+    """Dijkstra from several seeds with per-seed initial distances.
+
+    ``allow`` optionally restricts which nodes may be *relaxed through*
+    (seeds are always allowed); this powers the region-restricted searches
+    of the arterial-edge computation, where a path may leave a region by at
+    most one edge.
+    """
+    adj = graph.inn if reverse else graph.out
+    dist: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = []
+    for node, d0 in sources:
+        if d0 < dist.get(node, INF):
+            dist[node] = d0
+            heappush(heap, (d0, node))
+    settled: Dict[int, float] = {}
+    while heap:
+        d, u = heappop(heap)
+        if u in settled:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        settled[u] = d
+        if allow is not None and not allow(u):
+            continue  # u is terminal: settle it but do not expand further
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                heappush(heap, (nd, v))
+    return settled

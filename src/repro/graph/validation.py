@@ -1,0 +1,129 @@
+"""Validation of the paper's road-network model assumptions (Section 2).
+
+The paper assumes the input is a *directed, degree-bounded, connected*
+graph with positive edge weights and planar node coordinates.  These
+checks are run by the dataset generators and are available to users who
+load their own data.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List
+
+from .graph import Graph
+
+__all__ = ["NetworkReport", "analyze_network", "check_road_network", "strongly_connected"]
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Summary statistics produced by :func:`analyze_network`."""
+
+    n: int
+    m: int
+    max_out_degree: int
+    max_in_degree: int
+    max_degree: int
+    min_weight: float
+    max_weight: float
+    weakly_connected: bool
+    strongly_connected: bool
+    linf_diameter: float
+
+    def is_valid_road_network(self, degree_bound: int = 16) -> bool:
+        """True when the graph satisfies the paper's model assumptions."""
+        return (
+            self.n > 0
+            and self.strongly_connected
+            and self.max_degree <= degree_bound
+            and self.min_weight > 0
+        )
+
+
+def _reachable_count(graph: Graph, start: int, reverse: bool) -> int:
+    adj = graph.inn if reverse else graph.out
+    seen = bytearray(graph.n)
+    seen[start] = 1
+    queue = deque((start,))
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v, _ in adj[u]:
+            if not seen[v]:
+                seen[v] = 1
+                count += 1
+                queue.append(v)
+    return count
+
+
+def strongly_connected(graph: Graph) -> bool:
+    """Check strong connectivity with two BFS sweeps from node 0."""
+    if graph.n == 0:
+        return False
+    return (
+        _reachable_count(graph, 0, reverse=False) == graph.n
+        and _reachable_count(graph, 0, reverse=True) == graph.n
+    )
+
+
+def _weakly_connected(graph: Graph) -> bool:
+    if graph.n == 0:
+        return False
+    seen = bytearray(graph.n)
+    seen[0] = 1
+    queue = deque((0,))
+    count = 1
+    while queue:
+        u = queue.popleft()
+        for v, _ in graph.out[u]:
+            if not seen[v]:
+                seen[v] = 1
+                count += 1
+                queue.append(v)
+        for v, _ in graph.inn[u]:
+            if not seen[v]:
+                seen[v] = 1
+                count += 1
+                queue.append(v)
+    return count == graph.n
+
+
+def analyze_network(graph: Graph) -> NetworkReport:
+    """Compute a :class:`NetworkReport` for ``graph``."""
+    weights: List[float] = [w for _, _, w in graph.edges()]
+    return NetworkReport(
+        n=graph.n,
+        m=graph.m,
+        max_out_degree=max((graph.out_degree(u) for u in graph.nodes()), default=0),
+        max_in_degree=max((graph.in_degree(u) for u in graph.nodes()), default=0),
+        max_degree=graph.max_degree(),
+        min_weight=min(weights) if weights else 0.0,
+        max_weight=max(weights) if weights else 0.0,
+        weakly_connected=_weakly_connected(graph),
+        strongly_connected=strongly_connected(graph),
+        linf_diameter=graph.linf_diameter() if graph.n else 0.0,
+    )
+
+
+def check_road_network(graph: Graph, degree_bound: int = 16) -> None:
+    """Raise ``ValueError`` unless ``graph`` satisfies the paper's model.
+
+    ``degree_bound`` encodes "degree-bounded"; real road networks rarely
+    exceed degree 8, we default to a lenient 16.
+    """
+    report = analyze_network(graph)
+    problems = []
+    if report.n == 0:
+        problems.append("graph is empty")
+    if not report.strongly_connected:
+        problems.append("graph is not strongly connected")
+    if report.max_degree > degree_bound:
+        problems.append(
+            f"max degree {report.max_degree} exceeds bound {degree_bound}"
+        )
+    if report.min_weight <= 0:
+        problems.append("graph contains a non-positive edge weight")
+    if problems:
+        raise ValueError("; ".join(problems))

@@ -1,0 +1,36 @@
+"""Spatial substrate: grid pyramids, regions, strips and bisectors."""
+
+from .geometry import (
+    bounding_square,
+    euclidean_distance,
+    linf_distance,
+    pairwise_min_linf,
+    segment_crosses_horizontal,
+    segment_crosses_vertical,
+)
+from .grid import GridPyramid, NodeGrid
+from .regions import (
+    HORIZONTAL,
+    VERTICAL,
+    Region,
+    nonempty_regions,
+    region_nodes_by_cell,
+    regions_covering_cell,
+)
+
+__all__ = [
+    "GridPyramid",
+    "NodeGrid",
+    "Region",
+    "regions_covering_cell",
+    "nonempty_regions",
+    "region_nodes_by_cell",
+    "VERTICAL",
+    "HORIZONTAL",
+    "linf_distance",
+    "euclidean_distance",
+    "bounding_square",
+    "pairwise_min_linf",
+    "segment_crosses_vertical",
+    "segment_crosses_horizontal",
+]

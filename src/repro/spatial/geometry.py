@@ -1,0 +1,118 @@
+"""Plane geometry helpers for the grid machinery.
+
+Everything the paper needs from geometry is simple: L∞ distances (used to
+define ``dmax``/``dmin`` and hence the grid depth ``h``), axis-aligned
+bounding squares, and tests for whether a segment crosses a vertical or
+horizontal line (used to decide which edges intersect a region's
+bisector).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "linf_distance",
+    "euclidean_distance",
+    "bounding_square",
+    "segment_crosses_vertical",
+    "segment_crosses_horizontal",
+    "pairwise_min_linf",
+]
+
+Point = Tuple[float, float]
+
+
+def linf_distance(a: Point, b: Point) -> float:
+    """Chebyshev (L∞) distance between two points."""
+    return max(abs(a[0] - b[0]), abs(a[1] - b[1]))
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance; used by A*'s admissible heuristic."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def bounding_square(points: Iterable[Point], pad: float = 0.0) -> Tuple[float, float, float]:
+    """Smallest axis-aligned square covering ``points``.
+
+    Returns ``(origin_x, origin_y, side)``.  The square is anchored at the
+    min corner and extended to the larger of the two extents, optionally
+    padded; a degenerate single-point input yields a unit square so grid
+    construction never divides by zero.
+    """
+    xs, ys = [], []
+    for x, y in points:
+        xs.append(x)
+        ys.append(y)
+    if not xs:
+        raise ValueError("bounding_square of an empty point set")
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    side = max(max_x - min_x, max_y - min_y) + 2 * pad
+    if side <= 0:
+        side = 1.0
+    return min_x - pad, min_y - pad, side
+
+
+def segment_crosses_vertical(ax: float, bx: float, line_x: float) -> bool:
+    """True when the segment with endpoint x-coords ``ax``/``bx`` crosses
+    the vertical line ``x = line_x`` (touching counts)."""
+    return (ax - line_x) * (bx - line_x) <= 0
+
+
+def segment_crosses_horizontal(ay: float, by: float, line_y: float) -> bool:
+    """True when the segment with endpoint y-coords ``ay``/``by`` crosses
+    the horizontal line ``y = line_y`` (touching counts)."""
+    return (ay - line_y) * (by - line_y) <= 0
+
+
+def pairwise_min_linf(points: Sequence[Point], sample_cap: int = 4096) -> float:
+    """Smallest L∞ distance between distinct points (``dmin`` in §1).
+
+    An exact sweep would be O(n²); since ``dmin`` only calibrates the grid
+    depth ``h`` (and ``h`` is clamped anyway), we bucket points on a fine
+    grid and compare within/neighbouring buckets, falling back to exact
+    comparison for small inputs.
+    """
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points")
+    if n <= 256:
+        best = math.inf
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = linf_distance(points[i], points[j])
+                if 0 < d < best:
+                    best = d
+        return best if best < math.inf else 0.0
+    # Grid bucketing: cell side = diameter / sqrt(n); nearest pair in L∞
+    # must fall in the same or an adjacent bucket once the cell is below
+    # the true minimum distance, so we shrink until stable or capped.
+    ox, oy, side = bounding_square(points)
+    cell = side / max(2, int(math.sqrt(n)))
+    best = math.inf
+    for _ in range(8):
+        buckets = {}
+        for p in points:
+            key = (int((p[0] - ox) / cell), int((p[1] - oy) / cell))
+            buckets.setdefault(key, []).append(p)
+        best = math.inf
+        for (cx, cy), pts in buckets.items():
+            neigh = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    neigh.extend(buckets.get((cx + dx, cy + dy), ()))
+            for p in pts:
+                for q in neigh:
+                    if p is q:
+                        continue
+                    d = linf_distance(p, q)
+                    if 0 < d < best:
+                        best = d
+        if best is math.inf or best > cell:
+            cell = cell / 2 if best is math.inf else best
+            continue
+        return best
+    return best if best < math.inf else 0.0

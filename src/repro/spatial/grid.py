@@ -1,0 +1,259 @@
+"""The square grid pyramid ``R_1 .. R_h`` (Section 3.1 of the paper).
+
+FC/AH impose on the road network a sequence of square grids with
+geometrically increasing resolution:
+
+* ``R_h`` is the coarsest grid and has ``4 x 4`` cells;
+* each finer grid splits every cell into ``2 x 2``;
+* ``R_i`` therefore has ``2^(h+2-i)`` cells per side;
+* ``R_1`` is the finest grid, chosen so every cell contains at most one
+  node (subject to a depth cap, needed when nodes share coordinates).
+
+The paper shows ``h <= log2(dmax/dmin) - 1`` and notes ``h <= 26`` for any
+terrestrial network, so the cap never binds in practice.
+
+Implementation notes
+--------------------
+A node's cell in ``R_i`` is its cell in ``R_1`` right-shifted by ``i - 1``
+bits per axis, so we compute finest-level cells once per node
+(:class:`NodeGrid`) and derive every coarser level with two shifts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .geometry import bounding_square
+
+__all__ = ["GridPyramid", "NodeGrid"]
+
+Cell = Tuple[int, int]
+
+_MAX_H_DEFAULT = 18
+
+
+class GridPyramid:
+    """Geometry of the grid sequence ``R_1 .. R_h`` over a bounding square.
+
+    Parameters
+    ----------
+    origin_x, origin_y:
+        Min corner of the bounding square.
+    side:
+        Side length of the bounding square (> 0).
+    h:
+        Number of grids; ``R_i`` has ``2^(h+2-i)`` cells per side.
+    """
+
+    __slots__ = ("origin_x", "origin_y", "side", "h")
+
+    def __init__(self, origin_x: float, origin_y: float, side: float, h: int) -> None:
+        if side <= 0:
+            raise ValueError("grid side must be positive")
+        if h < 1:
+            raise ValueError("need at least one grid level")
+        self.origin_x = origin_x
+        self.origin_y = origin_y
+        self.side = side
+        self.h = h
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        points: Sequence[Tuple[float, float]],
+        max_h: int = _MAX_H_DEFAULT,
+        leaf_capacity: int = 1,
+    ) -> "GridPyramid":
+        """Build the pyramid for a point set.
+
+        ``R_h`` (4x4 cells) tightly covers the points; grids are refined
+        until every finest cell holds at most ``leaf_capacity`` points or
+        ``max_h`` grids exist (ties in coordinates would otherwise refine
+        forever).  The paper uses ``leaf_capacity = 1``; larger values
+        trade a shallower hierarchy — and a much cheaper AH construction
+        — for slightly coarser query-time pruning, without affecting
+        correctness.
+        """
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be at least 1")
+        ox, oy, side = bounding_square(points, pad=side_pad(points))
+        h = 1
+        while h < max_h:
+            cells = 1 << (h + 1)  # cells per side of the *finest* grid so far
+            cell_side = side / cells
+            counts: dict = {}
+            overfull = False
+            for x, y in points:
+                cx = min(int((x - ox) / cell_side), cells - 1)
+                cy = min(int((y - oy) / cell_side), cells - 1)
+                key = (cx, cy)
+                c = counts.get(key, 0) + 1
+                if c > leaf_capacity:
+                    overfull = True
+                    break
+                counts[key] = c
+            if not overfull:
+                break
+            h += 1
+        return cls(ox, oy, side, h)
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        max_h: int = _MAX_H_DEFAULT,
+        leaf_capacity: int = 1,
+    ) -> "GridPyramid":
+        """Build the pyramid covering all nodes of ``graph``."""
+        return cls.from_points(
+            list(zip(graph.xs, graph.ys)), max_h=max_h, leaf_capacity=leaf_capacity
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry per level
+    # ------------------------------------------------------------------
+    def levels(self) -> range:
+        """Grid indices ``1 .. h`` (1 = finest, h = coarsest)."""
+        return range(1, self.h + 1)
+
+    def cells_per_side(self, i: int) -> int:
+        """Number of cells per side of ``R_i`` (= ``2^(h+2-i)``)."""
+        self._check_level(i)
+        return 1 << (self.h + 2 - i)
+
+    def cell_side(self, i: int) -> float:
+        """Side length of one cell of ``R_i``."""
+        return self.side / self.cells_per_side(i)
+
+    def cell_of(self, i: int, x: float, y: float) -> Cell:
+        """Cell of ``R_i`` containing point ``(x, y)`` (clamped to grid)."""
+        cells = self.cells_per_side(i)
+        cs = self.side / cells
+        cx = int((x - self.origin_x) / cs)
+        cy = int((y - self.origin_y) / cs)
+        return (min(max(cx, 0), cells - 1), min(max(cy, 0), cells - 1))
+
+    def cell_bounds(self, i: int, cell: Cell) -> Tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)`` of ``cell`` in ``R_i``."""
+        cs = self.cell_side(i)
+        x0 = self.origin_x + cell[0] * cs
+        y0 = self.origin_y + cell[1] * cs
+        return x0, y0, x0 + cs, y0 + cs
+
+    def parent_cell(self, cell: Cell) -> Cell:
+        """Cell of the next-coarser grid containing ``cell``."""
+        return (cell[0] >> 1, cell[1] >> 1)
+
+    def _check_level(self, i: int) -> None:
+        if not 1 <= i <= self.h:
+            raise ValueError(f"grid level {i} outside [1, {self.h}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GridPyramid(origin=({self.origin_x}, {self.origin_y}), "
+            f"side={self.side}, h={self.h})"
+        )
+
+
+def side_pad(points: Sequence[Tuple[float, float]]) -> float:
+    """Tiny padding so boundary points fall strictly inside the grid."""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    extent = max(max(xs) - min(xs), max(ys) - min(ys), 1.0)
+    return extent * 1e-9
+
+
+class NodeGrid:
+    """Node-to-cell mapping for a graph over a :class:`GridPyramid`.
+
+    Precomputes each node's cell in the finest grid ``R_1``; the cell in a
+    coarser ``R_i`` is obtained with two bit shifts.  Also buckets nodes by
+    cell per level on demand (cached) — the region sweeps of the arterial
+    computation and the AH construction use those buckets heavily.
+    """
+
+    def __init__(self, graph: Graph, pyramid: GridPyramid) -> None:
+        self.graph = graph
+        self.pyramid = pyramid
+        self._fx: List[int] = []
+        self._fy: List[int] = []
+        for u in graph.nodes():
+            cx, cy = pyramid.cell_of(1, graph.xs[u], graph.ys[u])
+            self._fx.append(cx)
+            self._fy.append(cy)
+        self._buckets: Dict[int, Dict[Cell, List[int]]] = {}
+
+    def cell_of(self, i: int, u: int) -> Cell:
+        """Cell of ``R_i`` containing node ``u``."""
+        s = i - 1
+        return (self._fx[u] >> s, self._fy[u] >> s)
+
+    def chebyshev_cells(self, i: int, u: int, v: int) -> int:
+        """Chebyshev distance between the ``R_i`` cells of ``u`` and ``v``.
+
+        Two nodes fit in a common ``(3x3)``-cell region of ``R_i`` exactly
+        when this is at most 2 — the predicate behind the paper's proximity
+        constraint and Lemma 3.
+        """
+        s = i - 1
+        return max(
+            abs((self._fx[u] >> s) - (self._fx[v] >> s)),
+            abs((self._fy[u] >> s) - (self._fy[v] >> s)),
+        )
+
+    def same_3x3_region(self, i: int, u: int, v: int) -> bool:
+        """True when some 3x3-cell region of ``R_i`` covers ``u`` and ``v``."""
+        return self.chebyshev_cells(i, u, v) <= 2
+
+    def buckets(self, i: int, nodes: Iterable[int] = None) -> Dict[Cell, List[int]]:
+        """Nodes grouped by their ``R_i`` cell.
+
+        With ``nodes=None`` the full-graph bucketing is computed once and
+        cached; passing an explicit subset always recomputes (used on the
+        shrinking alive-sets of the AH construction).
+        """
+        if nodes is None:
+            cached = self._buckets.get(i)
+            if cached is not None:
+                return cached
+            node_iter: Iterable[int] = self.graph.nodes()
+        else:
+            node_iter = nodes
+        s = i - 1
+        buckets: Dict[Cell, List[int]] = {}
+        fx, fy = self._fx, self._fy
+        for u in node_iter:
+            key = (fx[u] >> s, fy[u] >> s)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [u]
+            else:
+                bucket.append(u)
+        if nodes is None:
+            self._buckets[i] = buckets
+        return buckets
+
+    def coarsest_separating_level(self, s: int, t: int) -> int:
+        """Largest ``j`` such that no 3x3 region of ``R_j`` covers both.
+
+        Returns 0 when even the finest grid has them in a common 3x3
+        region.  This is the level the AH query's elevating strategy jumps
+        to (Section 4.3): the shortest path must climb to level ``j``.
+        """
+        fx, fy = self._fx, self._fy
+        # The cell Chebyshev distance is non-increasing as grids coarsen,
+        # so the first separating level found from the coarsest side down
+        # is the largest one.
+        for i in range(self.pyramid.h, 0, -1):
+            sh = i - 1
+            cheb = max(
+                abs((fx[s] >> sh) - (fx[t] >> sh)),
+                abs((fy[s] >> sh) - (fy[t] >> sh)),
+            )
+            if cheb > 2:
+                return i
+        return 0

@@ -1,0 +1,171 @@
+"""4x4-cell regions, strips and bisectors (Definitions 1-2 of the paper).
+
+A *region* is a 4x4 block of cells in some grid ``R_i``, identified by the
+grid level and the cell coordinates of its min (south-west) corner.  The
+paper's constructions sweep over *every placement* of a 4x4 region that
+contains at least one relevant node; :func:`regions_covering_cell` and
+:func:`nonempty_regions` enumerate those placements.
+
+Orientation conventions (x grows east, y grows north):
+
+* west strip  = column ``rx``      east strip  = column ``rx + 3``
+* south strip = row ``ry``         north strip = row ``ry + 3``
+* vertical bisector   = line ``x`` between columns ``rx+1`` and ``rx+2``
+* horizontal bisector = line ``y`` between rows ``ry+1`` and ``ry+2``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from .grid import Cell, GridPyramid, NodeGrid
+
+__all__ = [
+    "Region",
+    "regions_covering_cell",
+    "nonempty_regions",
+    "HORIZONTAL",
+    "VERTICAL",
+]
+
+VERTICAL = "vertical"
+HORIZONTAL = "horizontal"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A 4x4-cell region of grid ``R_level`` with min corner ``(rx, ry)``."""
+
+    level: int
+    rx: int
+    ry: int
+
+    # ------------------------------------------------------------------
+    # Cell membership
+    # ------------------------------------------------------------------
+    def contains_cell(self, cell: Cell) -> bool:
+        """True when ``cell`` (same grid level) lies inside this region."""
+        return self.rx <= cell[0] < self.rx + 4 and self.ry <= cell[1] < self.ry + 4
+
+    def in_west_strip(self, cell: Cell) -> bool:
+        """True when ``cell`` is in the left-most column of the region."""
+        return cell[0] == self.rx and self.ry <= cell[1] < self.ry + 4
+
+    def in_east_strip(self, cell: Cell) -> bool:
+        """True when ``cell`` is in the right-most column of the region."""
+        return cell[0] == self.rx + 3 and self.ry <= cell[1] < self.ry + 4
+
+    def in_south_strip(self, cell: Cell) -> bool:
+        """True when ``cell`` is in the bottom row of the region."""
+        return cell[1] == self.ry and self.rx <= cell[0] < self.rx + 4
+
+    def in_north_strip(self, cell: Cell) -> bool:
+        """True when ``cell`` is in the top row of the region."""
+        return cell[1] == self.ry + 3 and self.rx <= cell[0] < self.rx + 4
+
+    def in_center_2x2(self, cell: Cell) -> bool:
+        """True for the central 2x2 cells (used by Definition 2: border
+        nodes must lie outside this block)."""
+        return (
+            self.rx + 1 <= cell[0] <= self.rx + 2
+            and self.ry + 1 <= cell[1] <= self.ry + 2
+        )
+
+    def side_of_vertical(self, cell: Cell) -> int:
+        """-1 west of the vertical bisector, +1 east of it."""
+        return -1 if cell[0] <= self.rx + 1 else 1
+
+    def side_of_horizontal(self, cell: Cell) -> int:
+        """-1 south of the horizontal bisector, +1 north of it."""
+        return -1 if cell[1] <= self.ry + 1 else 1
+
+    def adjacent_to_vertical(self, cell: Cell) -> bool:
+        """True for cells in the two columns touching the vertical
+        bisector (spanning-path endpoints must avoid these)."""
+        return cell[0] in (self.rx + 1, self.rx + 2)
+
+    def adjacent_to_horizontal(self, cell: Cell) -> bool:
+        """True for cells in the two rows touching the horizontal bisector."""
+        return cell[1] in (self.ry + 1, self.ry + 2)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def vertical_bisector_x(self, pyramid: GridPyramid) -> float:
+        """x-coordinate of the vertical bisector line."""
+        return pyramid.origin_x + (self.rx + 2) * pyramid.cell_side(self.level)
+
+    def horizontal_bisector_y(self, pyramid: GridPyramid) -> float:
+        """y-coordinate of the horizontal bisector line."""
+        return pyramid.origin_y + (self.ry + 2) * pyramid.cell_side(self.level)
+
+    def bounds(self, pyramid: GridPyramid) -> Tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` of the region."""
+        cs = pyramid.cell_side(self.level)
+        x0 = pyramid.origin_x + self.rx * cs
+        y0 = pyramid.origin_y + self.ry * cs
+        return x0, y0, x0 + 4 * cs, y0 + 4 * cs
+
+    def contains_region(self, other: "Region") -> bool:
+        """True when ``other`` (at a finer or equal level) lies entirely
+        inside this region — the paper's coverage condition compares a
+        shortcut's generating region against the current region."""
+        if other.level > self.level:
+            return False
+        shift = self.level - other.level
+        # This region's cell range expressed in ``other``'s (finer) grid.
+        fx0 = self.rx << shift
+        fy0 = self.ry << shift
+        fx1 = (self.rx + 4) << shift
+        fy1 = (self.ry + 4) << shift
+        return (
+            fx0 <= other.rx
+            and other.rx + 4 <= fx1
+            and fy0 <= other.ry
+            and other.ry + 4 <= fy1
+        )
+
+
+def regions_covering_cell(cell: Cell, cells_per_side: int, level: int) -> Iterator[Region]:
+    """All in-bounds 4x4 placements of ``R_level`` containing ``cell``."""
+    max_corner = cells_per_side - 4
+    for rx in range(max(cell[0] - 3, 0), min(cell[0], max_corner) + 1):
+        for ry in range(max(cell[1] - 3, 0), min(cell[1], max_corner) + 1):
+            yield Region(level, rx, ry)
+
+
+def nonempty_regions(
+    node_grid: NodeGrid, level: int, nodes: Iterable[int] = None
+) -> Dict[Region, List[int]]:
+    """Map each 4x4 region of ``R_level`` containing >= 1 node to its nodes.
+
+    ``nodes`` restricts the sweep to a subset (the alive nodes of a reduced
+    graph during AH construction); ``None`` means all graph nodes.
+    """
+    buckets = node_grid.buckets(level, nodes)
+    cells_per_side = node_grid.pyramid.cells_per_side(level)
+    result: Dict[Region, List[int]] = {}
+    for cell, members in buckets.items():
+        for region in regions_covering_cell(cell, cells_per_side, level):
+            lst = result.get(region)
+            if lst is None:
+                result[region] = list(members)
+            else:
+                lst.extend(members)
+    return result
+
+
+def region_nodes_by_cell(
+    node_grid: NodeGrid, region: Region, nodes: Iterable[int] = None
+) -> Dict[Cell, List[int]]:
+    """Nodes of ``region`` keyed by their cell (subset-aware)."""
+    buckets = node_grid.buckets(region.level, nodes)
+    out: Dict[Cell, List[int]] = {}
+    for dx in range(4):
+        for dy in range(4):
+            cell = (region.rx + dx, region.ry + dy)
+            members = buckets.get(cell)
+            if members:
+                out[cell] = members
+    return out

@@ -1,0 +1,180 @@
+"""Tests for the Arterial Hierarchy index — the paper's main contribution."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AHIndex
+from repro.datasets import grid_city, random_geometric, towns_and_highways
+from repro.graph.traversal import distance_query
+from repro.spatial import GridPyramid
+
+from conftest import assert_engine_matches_dijkstra, random_pairs
+
+
+class TestAHCorrectness:
+    @pytest.mark.parametrize(
+        "fixture", ["towns_graph", "city_graph", "oneway_graph", "rgg_graph", "paper_graph"]
+    )
+    def test_matches_dijkstra(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        engine = AHIndex(graph)
+        assert_engine_matches_dijkstra(engine, graph, random_pairs(graph, 40, seed=1))
+
+    def test_all_toggles_agree(self, towns_graph, towns_ah, towns_ah_elevating):
+        """Every configuration must return identical distances."""
+        variants = [
+            towns_ah,
+            towns_ah_elevating,
+            AHIndex(towns_graph, proximity=False),
+            AHIndex(towns_graph, downgrade=False),
+            AHIndex(towns_graph, stall_on_demand=True),
+            AHIndex(towns_graph, ordering="random"),
+        ]
+        for s, t in random_pairs(towns_graph, 40, seed=2):
+            base = variants[0].distance(s, t)
+            for engine in variants[1:]:
+                assert engine.distance(s, t) == pytest.approx(base)
+
+    def test_paths_validate_all_configs(self, towns_graph, towns_ah_elevating):
+        for s, t in random_pairs(towns_graph, 20, seed=3):
+            want = distance_query(towns_graph, s, t)
+            p = towns_ah_elevating.shortest_path(s, t)
+            p.validate(towns_graph)
+            assert p.length == pytest.approx(want)
+
+    def test_unreachable(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(10, 10)
+        b.add_edge(0, 1, 1.0)
+        g = b.build()
+        ah = AHIndex(g)
+        assert ah.distance(1, 0) == float("inf")
+        assert ah.shortest_path(1, 0) is None
+
+    def test_custom_pyramid(self, city_graph):
+        pyr = GridPyramid.from_graph(city_graph, leaf_capacity=4)
+        ah = AHIndex(city_graph, pyramid=pyr)
+        assert_engine_matches_dijkstra(
+            ah, city_graph, random_pairs(city_graph, 25, seed=4)
+        )
+
+    def test_bad_ordering_rejected(self, city_graph):
+        with pytest.raises(ValueError, match="ordering"):
+            AHIndex(city_graph, ordering="nonsense")
+
+
+class TestAHStructure:
+    def test_ranks_follow_levels(self, towns_ah, towns_graph):
+        rank = towns_ah.ranking.rank
+        levels = towns_ah.levels
+        for u in range(towns_graph.n):
+            for v in range(towns_graph.n):
+                if levels[u] < levels[v]:
+                    assert rank[u] < rank[v]
+
+    def test_upward_edges_ascend_rank(self, towns_ah):
+        res = towns_ah._res
+        for u, adj in enumerate(res.up_out):
+            for v, _, _ in adj:
+                assert res.rank[v] > res.rank[u]
+
+    def test_two_hop_invariant(self, towns_ah, towns_graph):
+        """Shortcut middles expand to two real edges of equal total weight
+        (the §4.1 invariant behind O(k) unpacking)."""
+        res = towns_ah._res
+        for s, t in random_pairs(towns_graph, 15, seed=5):
+            p = towns_ah.shortest_path(s, t)
+            if p is None:
+                continue
+            p.validate(towns_graph)  # implies every unpacked hop is real
+
+    def test_build_times_phases(self, towns_ah):
+        assert {"levels", "ordering", "contraction"} <= set(towns_ah.build_times)
+        assert towns_ah.build_time() > 0
+
+    def test_describe_mentions_levels(self, towns_ah):
+        text = towns_ah.describe()
+        assert "AH(" in text and "levels=" in text
+
+    def test_index_size_positive(self, towns_ah):
+        assert towns_ah.index_size() > 0
+
+    def test_elevating_increases_index(self, towns_ah, towns_ah_elevating):
+        assert towns_ah_elevating.index_size() >= towns_ah.index_size()
+
+
+class TestElevating:
+    def test_tables_reference_higher_levels(self, towns_ah_elevating):
+        levels = towns_ah_elevating.levels
+        for u, per_level in towns_ah_elevating._elev_f.items():
+            for j, entries in per_level.items():
+                assert levels[u] < j
+                for v, w, chain in entries:
+                    assert levels[v] >= j
+                    assert chain[0] == u and chain[-1] == v
+                    assert w > 0
+
+    def test_backward_chains_graph_oriented(self, towns_ah_elevating):
+        """Backward jump chains run terminal -> u in graph direction, so
+        consecutive pairs must be (possibly packed) upward edges."""
+        res = towns_ah_elevating._res
+        weight = {}
+        for u, adj in enumerate(res.up_out):
+            for v, w, _ in adj:
+                weight[(u, v)] = w
+        for u, adj in enumerate(res.up_in):
+            for v, w, _ in adj:
+                weight[(v, u)] = w
+        for u, per_level in towns_ah_elevating._elev_b.items():
+            for entries in per_level.values():
+                for v, w, chain in entries:
+                    assert chain[0] == v and chain[-1] == u
+                    total = 0.0
+                    for a, b in zip(chain, chain[1:]):
+                        assert (a, b) in weight
+                        total += weight[(a, b)]
+                    assert total == pytest.approx(w)
+
+    def test_forward_chain_weights_sum(self, towns_ah_elevating):
+        res = towns_ah_elevating._res
+        weight = {}
+        for u, adj in enumerate(res.up_out):
+            for v, w, _ in adj:
+                weight[(u, v)] = w
+        for u, per_level in towns_ah_elevating._elev_f.items():
+            for entries in per_level.values():
+                for v, w, chain in entries:
+                    total = sum(weight[(a, b)] for a, b in zip(chain, chain[1:]))
+                    assert total == pytest.approx(w)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_ah_matches_dijkstra_on_random_towns(seed):
+    """The flagship property: AH (all constraints on) is exact on random
+    road networks."""
+    g = towns_and_highways(3, 4, 4, seed=seed, prune=0.15)
+    ah = AHIndex(g, elevating=(seed % 2 == 0))
+    rng = random.Random(seed)
+    for _ in range(12):
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        assert ah.distance(s, t) == pytest.approx(distance_query(g, s, t))
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_ah_on_random_geometric(seed):
+    """Even on non-road-like graphs (Assumption 1 stressed), AH must stay
+    exact — the constraints are designed to never trade correctness."""
+    g = random_geometric(60, k=3, seed=seed)
+    ah = AHIndex(g)
+    rng = random.Random(seed)
+    for _ in range(10):
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        assert ah.distance(s, t) == pytest.approx(distance_query(g, s, t))

@@ -1,0 +1,141 @@
+"""Tests for spanning paths, arterial edges and Figure-3 statistics."""
+
+import pytest
+
+from repro.core.arterial import (
+    ArterialStats,
+    RegionTooLargeError,
+    arterial_dimension_stats,
+    region_arterial_edges,
+)
+from repro.datasets import grid_city, paper_figure1
+from repro.graph import GraphBuilder
+from repro.spatial import GridPyramid, NodeGrid, Region
+
+
+@pytest.fixture(scope="module")
+def paper_setup():
+    g = paper_figure1()
+    ng = NodeGrid(g, GridPyramid(0.0, 0.0, 8.0, 2))
+    return g, ng
+
+
+class TestRegionArterialEdges:
+    def test_paper_example(self, paper_setup):
+        g, ng = paper_setup
+        marked = region_arterial_edges(g, ng, Region(1, 1, 2))
+        undirected = {tuple(sorted(e)) for e in marked}
+        # The paper names <v6,v10> (ids 5,9) and <v11,v7> (ids 10,6).
+        assert (5, 9) in undirected
+        assert (6, 10) in undirected
+
+    def test_empty_region(self, paper_setup):
+        g, ng = paper_setup
+        # Bottom-left corner of the 8x8 grid contains no nodes.
+        assert region_arterial_edges(g, ng, Region(1, 4, 0)) == set()
+
+    def test_region_cap(self, paper_setup):
+        g, ng = paper_setup
+        with pytest.raises(RegionTooLargeError):
+            region_arterial_edges(g, ng, Region(2, 0, 0), max_region_nodes=3)
+
+    def test_nodes_subset_restricts(self, paper_setup):
+        g, ng = paper_setup
+        full = region_arterial_edges(g, ng, Region(1, 1, 2))
+        subset = region_arterial_edges(
+            g, ng, Region(1, 1, 2), nodes=[0, 1, 2]  # v1, v2, v3 only
+        )
+        assert subset <= full or subset == set()
+
+    def test_single_spanning_edge(self):
+        """A lone long edge across a region is its own spanning path."""
+        b = GraphBuilder()
+        left = b.add_node(0.5, 3.5)
+        right = b.add_node(7.5, 3.5)
+        b.add_bidirectional_edge(left, right, 1.0)
+        g = b.build()
+        ng = NodeGrid(g, GridPyramid(0.0, 0.0, 8.0, 2))
+        marked = region_arterial_edges(g, ng, Region(1, 2, 2))
+        assert (left, right) in marked and (right, left) in marked
+
+    def test_detour_not_marked(self):
+        """An edge off every shortest spanning route is not arterial."""
+        b = GraphBuilder()
+        w = b.add_node(0.5, 2.5)  # west strip
+        m1 = b.add_node(3.1, 2.5)  # on the fast route, west of bisector x=4
+        m2 = b.add_node(4.9, 2.5)  # east of bisector
+        e = b.add_node(7.5, 2.5)  # east strip
+        slow1 = b.add_node(3.1, 0.6)  # slow southern detour
+        slow2 = b.add_node(4.9, 0.6)
+        b.add_bidirectional_edge(w, m1, 1.0)
+        b.add_bidirectional_edge(m1, m2, 1.0)
+        b.add_bidirectional_edge(m2, e, 1.0)
+        b.add_bidirectional_edge(m1, slow1, 5.0)
+        b.add_bidirectional_edge(slow1, slow2, 5.0)
+        b.add_bidirectional_edge(slow2, m2, 5.0)
+        g = b.build()
+        ng = NodeGrid(g, GridPyramid(0.0, 0.0, 8.0, 2))
+        marked = region_arterial_edges(g, ng, Region(2, 0, 0))
+        undirected = {tuple(sorted(p)) for p in marked}
+        assert (m1, m2) in undirected
+        assert (slow1, slow2) not in undirected
+
+    def test_tie_marks_both_routes(self):
+        """Equal-length spanning routes are both marked (tie inclusion)."""
+        b = GraphBuilder()
+        w = b.add_node(0.5, 3.5)
+        n1 = b.add_node(3.5, 5.1)
+        n2 = b.add_node(4.5, 5.1)
+        s1 = b.add_node(3.5, 1.1)
+        s2 = b.add_node(4.5, 1.1)
+        e = b.add_node(7.5, 3.5)
+        for a, bb in [(w, n1), (n1, n2), (n2, e), (w, s1), (s1, s2), (s2, e)]:
+            b.add_bidirectional_edge(a, bb, 2.0)
+        g = b.build()
+        ng = NodeGrid(g, GridPyramid(0.0, 0.0, 8.0, 2))
+        marked = region_arterial_edges(g, ng, Region(2, 0, 0))
+        undirected = {tuple(sorted(p)) for p in marked}
+        assert (n1, n2) in undirected
+        assert (s1, s2) in undirected
+
+
+class TestArterialStats:
+    def test_from_counts_quantiles(self):
+        stats = ArterialStats.from_counts(1, 5, [1, 2, 3, 4, 100], skipped=0)
+        assert stats.max == 100
+        assert stats.mean == pytest.approx(22.0)
+        assert stats.q90 == 100
+        assert stats.regions == 5
+
+    def test_empty_counts(self):
+        stats = ArterialStats.from_counts(1, 5, [], skipped=3)
+        assert stats.regions == 0
+        assert stats.skipped == 3
+        assert stats.max == 0
+
+    def test_grid_city_dimension_bounded(self):
+        """Assumption 1 on a generated network: small arterial counts at
+        every resolution (the Figure-3 claim)."""
+        g = grid_city(14, 14, seed=4)
+        stats = arterial_dimension_stats(g)
+        assert stats  # at least one level measured
+        for s in stats:
+            assert s.skipped == 0
+            assert s.max <= 60  # paper's bound is ~97 on real continents
+
+    def test_levels_filter(self):
+        g = grid_city(8, 8, seed=4)
+        pyr = GridPyramid.from_graph(g)
+        stats = arterial_dimension_stats(g, pyr, levels=[pyr.h])
+        assert len(stats) == 1
+        assert stats[0].level == pyr.h
+        assert stats[0].resolution == 2
+
+    def test_cap_reports_skipped(self):
+        g = grid_city(10, 10, seed=4)
+        pyr = GridPyramid.from_graph(g)
+        stats = arterial_dimension_stats(
+            g, pyr, levels=[pyr.h], max_region_nodes=10
+        )
+        assert stats[0].skipped == stats[0].regions + stats[0].skipped - stats[0].regions
+        assert stats[0].skipped >= 1

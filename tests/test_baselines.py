@@ -1,0 +1,187 @@
+"""Correctness tests for all baseline engines against ground truth."""
+
+import pytest
+
+from repro.baselines import (
+    ALTEngine,
+    AStarEngine,
+    BidirectionalEngine,
+    CHEngine,
+    DijkstraEngine,
+    SILCEngine,
+    max_speed,
+    select_landmarks_farthest,
+)
+from repro.datasets import grid_city
+from repro.graph.traversal import distance_query
+
+from conftest import assert_engine_matches_dijkstra, random_pairs
+
+ENGINE_FACTORIES = [
+    ("Dijkstra", lambda g: DijkstraEngine(g)),
+    ("BiDijkstra", lambda g: BidirectionalEngine(g)),
+    ("A*", lambda g: AStarEngine(g)),
+    ("ALT", lambda g: ALTEngine(g, n_landmarks=4)),
+    ("CH", lambda g: CHEngine(g)),
+    ("SILC", lambda g: SILCEngine(g)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+@pytest.mark.parametrize("fixture", ["towns_graph", "city_graph", "oneway_graph", "rgg_graph"])
+def test_engine_matches_dijkstra(name, factory, fixture, request):
+    graph = request.getfixturevalue(fixture)
+    engine = factory(graph)
+    assert_engine_matches_dijkstra(engine, graph, random_pairs(graph, 40, seed=3))
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+def test_engine_self_query(name, factory, city_graph):
+    engine = factory(city_graph)
+    assert engine.distance(7, 7) == 0.0
+    path = engine.shortest_path(7, 7)
+    assert path is not None and path.nodes[0] == 7 and path.length == 0.0
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES)
+def test_engine_describe(name, factory, city_graph):
+    engine = factory(city_graph)
+    text = engine.describe()
+    assert engine.name in text
+
+
+class TestAStar:
+    def test_max_speed_matches_fastest_edge(self, city_graph):
+        speed = max_speed(city_graph)
+        best = 0.0
+        for u, v, w in city_graph.edges():
+            from repro.spatial import euclidean_distance
+
+            d = euclidean_distance(city_graph.coord(u), city_graph.coord(v))
+            best = max(best, d / w)
+        assert speed == pytest.approx(best)
+
+    def test_heuristic_never_overestimates(self, city_graph):
+        engine = AStarEngine(city_graph)
+        tx, ty = city_graph.coord(100)
+        for u in range(0, city_graph.n, 13):
+            h = engine._heuristic(u, tx, ty)
+            assert h <= distance_query(city_graph, u, 100) + 1e-9
+
+
+class TestALT:
+    def test_landmark_selection_distinct(self, towns_graph):
+        lms = select_landmarks_farthest(towns_graph, 5, seed=2)
+        assert len(lms) == len(set(lms))
+
+    def test_landmark_count_validated(self, towns_graph):
+        with pytest.raises(ValueError):
+            select_landmarks_farthest(towns_graph, 0)
+
+    def test_lower_bound_admissible(self, towns_graph):
+        engine = ALTEngine(towns_graph, n_landmarks=4, seed=1)
+        for s, t in random_pairs(towns_graph, 25, seed=4):
+            lb = engine._lower_bound(s, t)
+            assert lb <= distance_query(towns_graph, s, t) + 1e-9
+
+    def test_index_size_counts_tables(self, towns_graph):
+        engine = ALTEngine(towns_graph, n_landmarks=3)
+        assert engine.index_size() == 2 * 3 * towns_graph.n
+
+
+class TestCH:
+    def test_ranks_are_permutation(self, towns_ch, towns_graph):
+        assert sorted(towns_ch.rank) == list(range(towns_graph.n))
+
+    def test_upward_edges_ascend(self, towns_ch):
+        res = towns_ch._res
+        for u, adj in enumerate(res.up_out):
+            for v, _, _ in adj:
+                assert res.rank[v] > res.rank[u]
+        for u, adj in enumerate(res.up_in):
+            for v, _, _ in adj:
+                assert res.rank[v] > res.rank[u]
+
+    def test_middles_split_shortcuts_exactly(self, towns_ch):
+        """w(a,b) == w(a,m) + w(m,b) for every shortcut: the two-hop
+        invariant that makes unpacking O(k)."""
+        res = towns_ch._res
+        weight = {}
+        for u, adj in enumerate(res.up_out):
+            for v, w, _ in adj:
+                weight[(u, v)] = w
+        for u, adj in enumerate(res.up_in):
+            for v, w, _ in adj:
+                weight[(v, u)] = w
+        checked = 0
+        for (a, b), m in res.middle.items():
+            if (a, b) in weight and (a, m) in weight and (m, b) in weight:
+                assert weight[(a, b)] == pytest.approx(
+                    weight[(a, m)] + weight[(m, b)]
+                )
+                checked += 1
+        assert checked > 0
+
+    def test_explicit_order_is_respected(self, city_graph):
+        order = list(range(city_graph.n))
+        engine = CHEngine(city_graph, order=order)
+        assert engine.rank == order
+
+    def test_bad_order_rejected(self, city_graph):
+        with pytest.raises(ValueError):
+            CHEngine(city_graph, order=[0] * city_graph.n)
+
+    def test_stall_toggle_equivalent(self, towns_graph):
+        on = CHEngine(towns_graph, stall_on_demand=True)
+        off = CHEngine(towns_graph, stall_on_demand=False)
+        for s, t in random_pairs(towns_graph, 30, seed=6):
+            assert on.distance(s, t) == pytest.approx(off.distance(s, t))
+
+    def test_unreachable_pair(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 1)
+        b.add_edge(0, 1, 1.0)
+        g = b.build()
+        engine = CHEngine(g)
+        assert engine.distance(1, 0) == float("inf")
+        assert engine.shortest_path(1, 0) is None
+
+    def test_index_size_positive(self, towns_ch):
+        assert towns_ch.index_size() > 0
+        assert towns_ch.shortcut_count >= 0
+
+
+class TestSILC:
+    def test_size_cap_enforced(self, city_graph):
+        with pytest.raises(ValueError, match="quadratic"):
+            SILCEngine(city_graph, max_nodes=10)
+
+    def test_quadtree_compresses(self, city_graph):
+        engine = SILCEngine(city_graph)
+        # Total blocks must be far below n per source (uniform areas merge).
+        assert engine.index_size() < city_graph.n * city_graph.n
+
+    def test_first_move_walks_are_optimal_prefixes(self, city_graph):
+        engine = SILCEngine(city_graph)
+        for s, t in random_pairs(city_graph, 20, seed=9):
+            if s == t:
+                continue
+            move = engine._first_move(s, t)
+            d = distance_query(city_graph, s, t)
+            if d == float("inf"):
+                continue
+            assert city_graph.has_edge(s, move)
+            # Moving along the first move must decrease the distance by
+            # exactly the edge weight (definition of an optimal first move).
+            assert city_graph.edge_weight(s, move) + distance_query(
+                city_graph, move, t
+            ) == pytest.approx(d)
+
+    def test_distance_equals_path_length(self, city_graph):
+        engine = SILCEngine(city_graph)
+        for s, t in random_pairs(city_graph, 15, seed=10):
+            p = engine.shortest_path(s, t)
+            assert engine.distance(s, t) == pytest.approx(p.length)

@@ -1,0 +1,168 @@
+"""Tests for the benchmark harness, reporting and experiment modules."""
+
+import pytest
+
+from repro.bench import (
+    ENGINE_FACTORIES,
+    build_engine,
+    format_kv,
+    format_series,
+    format_table,
+    time_distance_batch,
+    time_path_batch,
+)
+from repro.bench.experiments import ablation, fig3, fig10, fig89, table1, table2
+from repro.bench.experiments.fig10 import growth_exponent
+from repro.datasets import grid_city
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [100, 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        out = format_series("x", ["p", "q"], {"m1": [1, 2], "m2": [3, 4]})
+        assert "m1" in out and "m2" in out
+        assert "p" in out and "q" in out
+
+    def test_format_series_ragged(self):
+        out = format_series("x", ["p", "q"], {"m": [1]})
+        assert "q" in out  # missing value rendered as blank, no crash
+
+    def test_format_kv(self):
+        out = format_kv({"alpha": 1, "b": 2.5}, title="K")
+        assert out.splitlines()[0] == "K"
+        assert "alpha" in out
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return grid_city(8, 8, seed=1)
+
+    def test_build_engine_records(self, graph):
+        engine, record = build_engine("CH", graph, dataset="unit")
+        assert record.engine == "CH"
+        assert record.dataset == "unit"
+        assert record.n == graph.n
+        assert record.build_seconds >= 0
+        assert record.index_size == engine.index_size()
+
+    def test_unknown_engine(self, graph):
+        with pytest.raises(KeyError, match="unknown engine"):
+            build_engine("nope", graph)
+
+    def test_every_registered_engine_builds(self, graph):
+        for name in ENGINE_FACTORIES:
+            engine, _ = build_engine(name, graph)
+            assert engine.distance(0, graph.n - 1) < float("inf")
+
+    def test_distance_batch_timing(self, graph):
+        engine, _ = build_engine("Dijkstra", graph)
+        record = time_distance_batch(engine, [(0, 5), (1, 9)], dataset="d", bucket=3)
+        assert record.queries == 2
+        assert record.kind == "distance"
+        assert record.bucket == 3
+        assert record.mean_us > 0
+        assert record.total_seconds == pytest.approx(
+            record.mean_us * 2 / 1e6
+        )
+
+    def test_path_batch_timing(self, graph):
+        engine, _ = build_engine("Dijkstra", graph)
+        record = time_path_batch(engine, [(0, 5)], dataset="d")
+        assert record.kind == "path"
+        assert record.queries == 1
+
+    def test_empty_batch(self, graph):
+        engine, _ = build_engine("Dijkstra", graph)
+        record = time_distance_batch(engine, [])
+        assert record.queries == 0 and record.mean_us == 0.0
+
+
+class TestExperiments:
+    def test_fig3_exact_and_render(self):
+        results = fig3.run(["DE"], mode="exact", max_region_nodes=400)
+        assert results[0].dataset == "DE"
+        out = fig3.render(results)
+        assert "Figure 3" in out and "q99" in out
+
+    def test_fig3_reduced_mode(self):
+        g = grid_city(8, 8, seed=2)
+        res = fig3.run_graph(g, "unit", mode="reduced")
+        assert res.mode == "reduced"
+        assert res.stats
+
+    def test_fig3_bad_mode(self):
+        g = grid_city(6, 6, seed=2)
+        with pytest.raises(ValueError):
+            fig3.run_graph(g, "unit", mode="bogus")
+
+    def test_fig89_distance_and_render(self):
+        panels = fig89.run(
+            ["DE"], engines=("Dijkstra", "CH"), kind="distance", queries_per_bucket=4
+        )
+        assert panels[0].kind == "distance"
+        series = panels[0].series()
+        assert set(series) == {"Dijkstra", "CH"}
+        out = fig89.render(panels)
+        assert "Figure 8" in out
+
+    def test_fig89_path_kind(self):
+        panels = fig89.run(
+            ["DE"], engines=("Dijkstra",), kind="path", queries_per_bucket=3
+        )
+        out = fig89.render(panels)
+        assert "Figure 9" in out
+
+    def test_fig89_invalid_kind(self):
+        with pytest.raises(ValueError):
+            fig89.run(["DE"], kind="nope")
+
+    def test_fig10_and_growth(self):
+        result = fig10.run(["DE"], engines=("CH",))
+        out = fig10.render(result)
+        assert "Figure 10a" in out and "Figure 10b" in out
+
+    def test_growth_exponent_linear(self):
+        exp = growth_exponent([100, 200, 400], [10, 20, 40])
+        assert exp == pytest.approx(1.0, abs=0.01)
+
+    def test_growth_exponent_quadratic(self):
+        exp = growth_exponent([10, 20, 40], [100, 400, 1600])
+        assert exp == pytest.approx(2.0, abs=0.01)
+
+    def test_growth_exponent_degenerate(self):
+        assert growth_exponent([10], [5]) is None
+        assert growth_exponent([10, 20], [0, 0]) is None
+
+    def test_table2(self):
+        rows = table2.run(["DE", "NH"])
+        assert rows[0].name == "DE"
+        assert rows[0].strongly_connected
+        out = table2.render(rows)
+        assert "Delaware" in out
+
+    def test_table1_renders_bounds(self):
+        # Table 1's static content renders even without measurements.
+        out = table1.render([])
+        assert "O(hn)" in out and "this paper" in out
+
+
+class TestCLI:
+    def test_main_table2(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table2", "--datasets", "DE"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_main_requires_command(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,127 @@
+"""CLI subcommands and assorted edge cases not covered elsewhere."""
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments.fig89 import PanelResult
+from repro.bench.harness import QueryRecord, build_engine
+from repro.datasets import dataset_spec
+from repro.datasets.suite import SUITE
+from repro.spatial import GridPyramid
+
+
+class TestCLI:
+    def test_fig3_subcommand(self, capsys):
+        assert main(["fig3", "--datasets", "DE", "--max-region-nodes", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_fig8_subcommand_small(self, capsys):
+        assert (
+            main(
+                [
+                    "fig8",
+                    "--datasets",
+                    "DE",
+                    "--queries",
+                    "3",
+                    "--engines",
+                    "Dijkstra",
+                    "CH",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "CH" in out
+
+    def test_table1_subcommand(self, capsys):
+        assert main(["table1", "--datasets", "DE", "--queries", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "this paper (AH)" in out
+        assert "entries/n" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestEngineCache:
+    def test_cache_returns_same_object(self):
+        from repro.datasets import dataset
+
+        g = dataset("DE")
+        e1, r1 = build_engine("CH", g, dataset="DE", use_cache=True)
+        e2, r2 = build_engine("CH", g, dataset="DE", use_cache=True)
+        assert e1 is e2
+        assert r1 is r2
+
+    def test_no_cache_rebuilds(self):
+        from repro.datasets import dataset
+
+        g = dataset("DE")
+        e1, _ = build_engine("Dijkstra", g, dataset="DE", use_cache=False)
+        e2, _ = build_engine("Dijkstra", g, dataset="DE", use_cache=False)
+        assert e1 is not e2
+
+    def test_kwargs_distinguish_cache_entries(self):
+        from repro.datasets import dataset
+
+        g = dataset("DE")
+        plain, _ = build_engine("CH", g, dataset="DE", use_cache=True)
+        nostall, _ = build_engine(
+            "CH", g, dataset="DE", use_cache=True, stall_on_demand=False
+        )
+        assert plain is not nostall
+
+
+class TestPanelSeries:
+    def test_missing_bucket_becomes_nan(self):
+        panel = PanelResult(
+            dataset="X",
+            n=10,
+            kind="distance",
+            buckets=[1, 2],
+            builds=[],
+            queries=[
+                QueryRecord("E", "X", 1, "distance", 5, 3.0),
+            ],
+        )
+        series = panel.series()
+        assert series["E"][0] == 3.0
+        import math
+
+        assert math.isnan(series["E"][1])
+
+
+class TestSuiteSpecsBeyondBenchLadder:
+    @pytest.mark.parametrize("name", SUITE)
+    def test_every_spec_well_formed(self, name):
+        spec = dataset_spec(name)
+        assert spec.paper_nodes > 0
+        assert spec.paper_edges > spec.paper_nodes
+        assert spec.n_towns >= 2
+        assert spec.approx_nodes > 0
+
+    def test_us_is_largest(self):
+        sizes = [dataset_spec(n).approx_nodes for n in SUITE]
+        assert sizes[-1] == max(sizes)
+
+
+class TestGridPyramidEdgeCases:
+    def test_single_point_pyramid(self):
+        pyr = GridPyramid.from_points([(5.0, 5.0)])
+        assert pyr.h >= 1
+        assert pyr.cells_per_side(pyr.h) == 4
+
+    def test_max_h_cap_respected(self):
+        # Two nearly-coincident points would refine forever without a cap.
+        pts = [(0.0, 0.0), (1e-15, 0.0), (1.0, 1.0)]
+        pyr = GridPyramid.from_points(pts, max_h=6)
+        assert pyr.h <= 6
+
+    def test_degenerate_side_rejected(self):
+        with pytest.raises(ValueError):
+            GridPyramid(0, 0, 0.0, 2)
+        with pytest.raises(ValueError):
+            GridPyramid(0, 0, 1.0, 0)

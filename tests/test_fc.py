@@ -1,0 +1,88 @@
+"""Tests for the FC (first-cut) index of Section 3."""
+
+import pytest
+
+from repro.core import FCIndex
+from repro.datasets import paper_figure1
+from repro.graph.traversal import distance_query
+
+from conftest import assert_engine_matches_dijkstra, random_pairs
+
+
+class TestFCCorrectness:
+    @pytest.mark.parametrize(
+        "fixture", ["towns_graph", "city_graph", "oneway_graph", "paper_graph"]
+    )
+    def test_matches_dijkstra(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        engine = FCIndex(graph)
+        assert_engine_matches_dijkstra(engine, graph, random_pairs(graph, 35, seed=2))
+
+    def test_without_proximity(self, towns_graph):
+        engine = FCIndex(towns_graph, proximity=False)
+        assert_engine_matches_dijkstra(
+            engine, towns_graph, random_pairs(towns_graph, 25, seed=3)
+        )
+
+    def test_proximity_toggle_equivalent(self, towns_graph, towns_fc):
+        no_prox = FCIndex(towns_graph, proximity=False)
+        for s, t in random_pairs(towns_graph, 30, seed=4):
+            assert towns_fc.distance(s, t) == pytest.approx(no_prox.distance(s, t))
+
+
+class TestFCStructure:
+    def test_node_cap(self, towns_graph):
+        with pytest.raises(ValueError, match="cap"):
+            FCIndex(towns_graph, max_nodes=10)
+
+    def test_shortcut_chains_match_weights(self, towns_fc, towns_graph):
+        """Every stored shortcut's chain re-sums to its weight — the FC
+        analogue of the two-hop invariant."""
+        count = 0
+        for (u, v), chain in towns_fc._chains.items():
+            total = sum(
+                towns_graph.edge_weight(a, b) for a, b in zip(chain, chain[1:])
+            )
+            assert total == pytest.approx(towns_fc._edge_weight[(u, v)])
+            assert chain[0] == u and chain[-1] == v
+            count += 1
+        assert count == towns_fc.shortcut_count
+
+    def test_shortcut_interiors_below_endpoint_levels(self, towns_fc):
+        levels = towns_fc.levels
+        for (u, v), chain in towns_fc._chains.items():
+            bound = min(levels[u], levels[v])
+            for x in chain[1:-1]:
+                assert levels[x] < bound
+
+    def test_hierarchy_keeps_original_edges(self, towns_fc, towns_graph):
+        for u, v, w in towns_graph.edges():
+            assert towns_fc._edge_weight[(u, v)] <= w + 1e-12
+
+    def test_index_size_counts_edges(self, towns_fc, towns_graph):
+        assert towns_fc.index_size() >= towns_graph.m
+        assert towns_fc.index_size() == len(towns_fc._edge_weight)
+
+    def test_build_times_recorded(self, towns_fc):
+        assert set(towns_fc.build_times) == {"levels", "shortcuts"}
+        assert towns_fc.build_time() > 0
+
+    def test_paper_graph_level_query_narrative(self):
+        """§3.2's example: querying the Figure-1 graph is exact."""
+        g = paper_figure1()
+        fc = FCIndex(g)
+        assert fc.distance(7, 10) == distance_query(g, 7, 10)  # v8 -> v11
+        assert fc.distance(0, 9) == 4.0  # v1 -> v10
+
+
+class TestFCPaths:
+    def test_paths_validate(self, towns_fc, towns_graph):
+        for s, t in random_pairs(towns_graph, 20, seed=5):
+            want = distance_query(towns_graph, s, t)
+            p = towns_fc.shortest_path(s, t)
+            p.validate(towns_graph)
+            assert p.length == pytest.approx(want)
+
+    def test_self_path(self, towns_fc):
+        p = towns_fc.shortest_path(4, 4)
+        assert p.nodes == (4,) and p.length == 0.0

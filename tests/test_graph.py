@@ -1,0 +1,144 @@
+"""Unit tests for the core graph model and builder."""
+
+import pytest
+
+from repro.graph import Graph, GraphBuilder
+
+
+def build_triangle():
+    b = GraphBuilder()
+    a = b.add_node(0.0, 0.0)
+    c = b.add_node(1.0, 0.0)
+    d = b.add_node(0.0, 1.0)
+    b.add_edge(a, c, 1.0)
+    b.add_edge(c, d, 2.0)
+    b.add_edge(d, a, 3.0)
+    return b.build()
+
+
+class TestGraphBuilder:
+    def test_node_ids_are_dense(self):
+        b = GraphBuilder()
+        assert [b.add_node(i, i) for i in range(5)] == list(range(5))
+        assert b.node_count == 5
+
+    def test_add_nodes_bulk(self):
+        b = GraphBuilder()
+        ids = b.add_nodes([(0, 0), (1, 1), (2, 2)])
+        assert ids == [0, 1, 2]
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        with pytest.raises(ValueError, match="self loop"):
+            b.add_edge(0, 0, 1.0)
+
+    def test_unknown_node_rejected(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        with pytest.raises(ValueError, match="unknown node"):
+            b.add_edge(0, 7, 1.0)
+
+    def test_non_positive_weight_rejected(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 1)
+        for w in (0.0, -1.0):
+            with pytest.raises(ValueError, match="positive weight"):
+                b.add_edge(0, 1, w)
+
+    def test_parallel_edges_keep_minimum(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 0)
+        b.add_edge(0, 1, 5.0)
+        b.add_edge(0, 1, 2.0)  # cheaper replaces
+        b.add_edge(0, 1, 9.0)  # costlier ignored
+        g = b.build()
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 2.0
+
+    def test_bidirectional_edge(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 0)
+        b.add_bidirectional_edge(0, 1, 1.5)
+        g = b.build()
+        assert g.edge_weight(0, 1) == g.edge_weight(1, 0) == 1.5
+
+    def test_coord_accessor(self):
+        b = GraphBuilder()
+        b.add_node(3.5, -2.0)
+        assert b.coord(0) == (3.5, -2.0)
+
+    def test_iter_edges(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 0)
+        b.add_edge(0, 1, 1.0)
+        assert list(b.iter_edges()) == [((0, 1), 1.0)]
+
+
+class TestGraph:
+    def test_counts(self):
+        g = build_triangle()
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_adjacency_directions(self):
+        g = build_triangle()
+        assert [(v, w) for v, w in g.out[0]] == [(1, 1.0)]
+        assert [(v, w) for v, w in g.inn[0]] == [(2, 3.0)]
+
+    def test_edge_weight_missing_raises(self):
+        g = build_triangle()
+        with pytest.raises(KeyError):
+            g.edge_weight(1, 0)
+
+    def test_has_edge(self):
+        g = build_triangle()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_degrees(self):
+        g = build_triangle()
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 1
+        assert g.degree(0) == 2
+        assert g.max_degree() == 2
+
+    def test_bounding_box_and_diameter(self):
+        g = build_triangle()
+        assert g.bounding_box() == (0.0, 0.0, 1.0, 1.0)
+        assert g.linf_diameter() == 1.0
+
+    def test_reversed_graph(self):
+        g = build_triangle()
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert not r.has_edge(0, 1)
+        assert r.edge_weight(1, 0) == 1.0
+        # Reversing twice restores the original edge set.
+        rr = r.reversed()
+        assert sorted(rr.edges()) == sorted(g.edges())
+
+    def test_total_weight(self):
+        g = build_triangle()
+        assert g.total_weight() == pytest.approx(6.0)
+
+    def test_edges_iterator_complete(self):
+        g = build_triangle()
+        assert sorted(g.edges()) == [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Graph([0.0], [0.0, 1.0], [[]])
+        with pytest.raises(ValueError):
+            Graph([0.0, 1.0], [0.0, 1.0], [[(5, 1.0)], []])
+        with pytest.raises(ValueError):
+            Graph([0.0, 1.0], [0.0, 1.0], [[(1, -1.0)], []])
+
+    def test_empty_graph_bounding_box_raises(self):
+        g = Graph([], [], [])
+        with pytest.raises(ValueError):
+            g.bounding_box()

@@ -1,0 +1,145 @@
+"""Tests for level assignment (exact + incremental) and node ranking."""
+
+import pytest
+
+from repro.core import assign_levels, compute_ranks, exact_levels, greedy_vertex_cover
+from repro.core.lemmas import check_covering_property, check_density_bound
+from repro.datasets import grid_city, paper_figure1, towns_and_highways
+from repro.spatial import GridPyramid, NodeGrid
+
+
+class TestExactLevels:
+    def test_paper_graph_levels(self):
+        g = paper_figure1()
+        la = exact_levels(g, GridPyramid(0.0, 0.0, 8.0, 2))
+        # v1, v2, v3 are peripheral (level 0); the rest carry arterial
+        # edges of some region at level 1.
+        assert la.levels[0] == la.levels[1] == la.levels[2] == 0
+        assert all(lv == 1 for lv in la.levels[3:])
+
+    def test_levels_within_range(self, city_graph):
+        la = exact_levels(city_graph)
+        assert all(0 <= lv <= la.h for lv in la.levels)
+
+    def test_pseudo_arterial_endpoints_at_level(self, city_graph):
+        la = exact_levels(city_graph)
+        for level, edges in la.pseudo_arterial.items():
+            for u, v in edges:
+                assert la.levels[u] >= level
+                assert la.levels[v] >= level
+
+    def test_level_sizes_sum_to_n(self, city_graph):
+        la = exact_levels(city_graph)
+        assert sum(la.level_sizes().values()) == city_graph.n
+
+
+class TestIncrementalLevels:
+    def test_matches_exact_on_paper_graph(self):
+        g = paper_figure1()
+        pyr = GridPyramid(0.0, 0.0, 8.0, 2)
+        assert assign_levels(g, pyr).levels == exact_levels(g, pyr).levels
+
+    def test_alive_shrinks(self, towns_graph):
+        la = assign_levels(towns_graph)
+        assert la.alive_history[0] == towns_graph.n
+        assert la.alive_history[-1] < towns_graph.n / 4
+
+    def test_covering_property_holds(self, towns_graph):
+        la = assign_levels(towns_graph)
+        violations = check_covering_property(
+            towns_graph, la.node_grid, la.levels, samples=250, seed=3
+        )
+        assert violations == []
+
+    def test_covering_property_on_city(self, city_graph):
+        la = assign_levels(city_graph)
+        violations = check_covering_property(
+            city_graph, la.node_grid, la.levels, samples=250, seed=4
+        )
+        assert violations == []
+
+    def test_density_bounded(self, towns_graph):
+        la = assign_levels(towns_graph)
+        report = check_density_bound(la.node_grid, la.levels)
+        # Lemma 4: bounded by O(lambda^2) independent of n; generously cap.
+        assert report.bounded_by(200)
+
+    def test_region_counts_collected(self):
+        g = grid_city(8, 8, seed=2)
+        la = assign_levels(g, collect_region_counts=True)
+        assert la.region_counts is not None
+        assert set(la.region_counts) == set(range(1, la.h + 1))
+
+    def test_progress_callback(self, city_graph):
+        calls = []
+        assign_levels(city_graph, progress=lambda i, a, r: calls.append((i, a, r)))
+        assert [c[0] for c in calls] == list(range(1, len(calls) + 1))
+
+    def test_border_sets_nested(self, towns_graph):
+        la = assign_levels(towns_graph)
+        for i in range(1, la.h):
+            assert la.border_by_level[i] >= la.border_by_level[i + 1]
+
+
+class TestGreedyVertexCover:
+    def test_covers_every_edge(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]
+        xi = greedy_vertex_cover(edges)
+        cover = set(xi)
+        assert all(u in cover or v in cover for u, v in edges)
+
+    def test_hub_selected_first(self):
+        star = [(0, i) for i in range(1, 6)]
+        xi = greedy_vertex_cover(star)
+        assert xi[0] == 0
+        assert len(xi) == 1
+
+    def test_duplicates_and_loops_ignored(self):
+        xi = greedy_vertex_cover([(1, 1), (0, 2), (2, 0), (0, 2)])
+        assert set(xi) <= {0, 2}
+        assert len(xi) == 1
+
+    def test_empty(self):
+        assert greedy_vertex_cover([]) == []
+
+
+class TestComputeRanks:
+    def test_rank_is_permutation(self, towns_graph):
+        la = assign_levels(towns_graph)
+        ra = compute_ranks(la.levels, la.pseudo_arterial)
+        assert sorted(ra.rank) == list(range(towns_graph.n))
+        assert [ra.rank[u] for u in ra.order] == list(range(towns_graph.n))
+
+    def test_rank_respects_levels(self, towns_graph):
+        la = assign_levels(towns_graph)
+        ra = compute_ranks(la.levels, la.pseudo_arterial, downgrade=False)
+        for u in range(towns_graph.n):
+            for v in range(towns_graph.n):
+                if ra.levels[u] < ra.levels[v]:
+                    assert ra.rank[u] < ra.rank[v]
+
+    def test_downgrade_keeps_cover_endpoint_per_edge(self, towns_graph):
+        la = assign_levels(towns_graph)
+        ra = compute_ranks(la.levels, la.pseudo_arterial, downgrade=True)
+        for level, edges in la.pseudo_arterial.items():
+            for u, v in edges:
+                # At least one endpoint must keep level >= the edge level,
+                # otherwise the covering property would break (Lemma 3).
+                assert max(ra.levels[u], ra.levels[v]) >= level
+
+    def test_downgrade_never_raises_levels(self, towns_graph):
+        la = assign_levels(towns_graph)
+        ra = compute_ranks(la.levels, la.pseudo_arterial, downgrade=True)
+        assert all(e <= o for e, o in zip(ra.levels, la.levels))
+
+    def test_deterministic_given_seed(self, towns_graph):
+        la = assign_levels(towns_graph)
+        a = compute_ranks(la.levels, la.pseudo_arterial, seed=5)
+        b = compute_ranks(la.levels, la.pseudo_arterial, seed=5)
+        assert a.rank == b.rank
+
+    def test_seed_changes_tiebreaks(self, towns_graph):
+        la = assign_levels(towns_graph)
+        a = compute_ranks(la.levels, la.pseudo_arterial, seed=1)
+        b = compute_ranks(la.levels, la.pseudo_arterial, seed=2)
+        assert a.rank != b.rank

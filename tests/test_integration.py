@@ -1,0 +1,84 @@
+"""End-to-end integration tests across the whole stack."""
+
+import io
+
+import pytest
+
+from repro.baselines import CHEngine, DijkstraEngine, SILCEngine
+from repro.core import AHIndex, FCIndex
+from repro.datasets import generate_workloads, towns_and_highways
+from repro.graph import read_dimacs
+from repro.graph.io import dumps
+from repro.graph.traversal import distance_query
+
+from conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def network():
+    return towns_and_highways(4, 5, 5, seed=21)
+
+
+@pytest.fixture(scope="module")
+def engines(network):
+    return [
+        DijkstraEngine(network),
+        CHEngine(network),
+        SILCEngine(network),
+        FCIndex(network),
+        AHIndex(network),
+        AHIndex(network, elevating=True),
+    ]
+
+
+class TestCrossEngineAgreement:
+    def test_all_engines_agree_on_workload(self, network, engines):
+        """The headline integration property: every engine in the repo
+        answers the paper's workload identically."""
+        workloads = generate_workloads(network, queries_per_bucket=8, seed=5)
+        pairs = [
+            p for b in workloads.non_empty_buckets() for p in workloads.bucket(b)
+        ]
+        for s, t in pairs:
+            answers = {e.name: e.distance(s, t) for e in engines}
+            baseline = answers["Dijkstra"]
+            for name, got in answers.items():
+                assert got == pytest.approx(baseline), (
+                    f"{name} disagrees on ({s}, {t}): {got} vs {baseline}"
+                )
+
+    def test_all_engines_paths_same_length(self, network, engines):
+        for s, t in random_pairs(network, 10, seed=6):
+            want = distance_query(network, s, t)
+            for engine in engines:
+                p = engine.shortest_path(s, t)
+                p.validate(network)
+                assert p.length == pytest.approx(want)
+
+
+class TestDimacsRoundTripEquivalence:
+    def test_roundtripped_graph_same_queries(self, network):
+        gr, co = dumps(network)
+        g2 = read_dimacs(io.StringIO(gr), io.StringIO(co))
+        ah = AHIndex(g2)
+        for s, t in random_pairs(network, 20, seed=7):
+            assert ah.distance(s, t) == pytest.approx(
+                distance_query(network, s, t)
+            )
+
+
+class TestIndexSizeOrdering:
+    def test_figure10_shape_on_small_input(self, network, engines):
+        """SILC's index dwarfs CH's — the Figure 10a relationship."""
+        by_name = {e.name: e for e in engines}
+        assert by_name["SILC"].index_size() > by_name["CH"].index_size()
+
+    def test_ah_linear_space_shape(self):
+        """AH entries per node stay flat as n grows (O(hn) space)."""
+        small = towns_and_highways(3, 4, 4, seed=30)
+        large = towns_and_highways(6, 4, 4, seed=30)
+        ah_small = AHIndex(small)
+        ah_large = AHIndex(large)
+        per_node_small = ah_small.index_size() / small.n
+        per_node_large = ah_large.index_size() / large.n
+        assert per_node_large < per_node_small * 2.5

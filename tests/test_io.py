@@ -1,0 +1,105 @@
+"""DIMACS IO round-trip and error-handling tests."""
+
+import io
+
+import pytest
+
+from repro.datasets import grid_city
+from repro.graph import GraphBuilder, read_dimacs, write_dimacs
+from repro.graph.io import dumps, read_co, read_gr, write_co, write_gr
+from repro.graph.traversal import distance_query
+
+
+def small_graph():
+    b = GraphBuilder()
+    b.add_node(0, 0)
+    b.add_node(100, 0)
+    b.add_node(100, 100)
+    b.add_edge(0, 1, 7)
+    b.add_edge(1, 2, 3)
+    b.add_edge(2, 0, 11)
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_integer_graph_roundtrip(self):
+        g = small_graph()
+        gr, co = dumps(g)
+        g2 = read_dimacs(io.StringIO(gr), io.StringIO(co))
+        assert g2.n == g.n
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert [g2.coord(u) for u in g2.nodes()] == [g.coord(u) for u in g.nodes()]
+
+    def test_float_weights_roundtrip(self):
+        g = grid_city(5, 5, seed=2)
+        gr, co = dumps(g)
+        g2 = read_dimacs(io.StringIO(gr), io.StringIO(co))
+        assert g2.n == g.n and g2.m == g.m
+        for s, t in [(0, 24), (7, 13)]:
+            assert distance_query(g2, s, t) == pytest.approx(
+                distance_query(g, s, t)
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        g = small_graph()
+        gr_path = tmp_path / "g.gr"
+        co_path = tmp_path / "g.co"
+        write_dimacs(g, gr_path, co_path)
+        g2 = read_dimacs(gr_path, co_path)
+        assert sorted(g2.edges()) == sorted(g.edges())
+
+    def test_missing_coordinates_default_to_origin(self):
+        g = small_graph()
+        gr, _ = dumps(g)
+        g2 = read_dimacs(io.StringIO(gr))
+        assert all(g2.coord(u) == (0.0, 0.0) for u in g2.nodes())
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_ignored(self):
+        gr = "c a comment\n\np sp 2 1\nc more\na 1 2 5\n"
+        n, arcs = read_gr(io.StringIO(gr))
+        assert n == 2
+        assert arcs == [(0, 1, 5.0)]
+
+    def test_missing_problem_line_raises(self):
+        with pytest.raises(ValueError, match="problem line"):
+            read_gr(io.StringIO("a 1 2 5\n"))
+
+    def test_malformed_arc_raises(self):
+        with pytest.raises(ValueError, match="malformed arc"):
+            read_gr(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(ValueError, match="unknown record"):
+            read_gr(io.StringIO("p sp 1 0\nz 1\n"))
+
+    def test_co_parsing(self):
+        co = "c x\np aux sp co 2\nv 1 -100 200\nv 2 3 4\n"
+        coords = read_co(io.StringIO(co))
+        assert coords == {0: (-100.0, 200.0), 1: (3.0, 4.0)}
+
+    def test_co_malformed_raises(self):
+        with pytest.raises(ValueError, match="malformed node"):
+            read_co(io.StringIO("v 1 2\n"))
+
+
+class TestWriting:
+    def test_comment_written(self):
+        g = small_graph()
+        buf = io.StringIO()
+        write_gr(g, buf, comment="hello\nworld")
+        text = buf.getvalue()
+        assert text.startswith("c hello\nc world\n")
+
+    def test_header_counts(self):
+        g = small_graph()
+        buf = io.StringIO()
+        write_gr(g, buf)
+        assert f"p sp {g.n} {g.m}" in buf.getvalue()
+
+    def test_co_header(self):
+        g = small_graph()
+        buf = io.StringIO()
+        write_co(g, buf)
+        assert f"p aux sp co {g.n}" in buf.getvalue()

@@ -1,0 +1,58 @@
+"""Tests for the executable lemma checkers themselves."""
+
+import pytest
+
+from repro.core import AHIndex
+from repro.core.lemmas import (
+    CoveringViolation,
+    check_covering_property,
+    check_density_bound,
+)
+from repro.datasets import grid_city
+from repro.spatial import GridPyramid, NodeGrid
+
+
+class TestDensityBound:
+    def test_all_levels_reported(self, towns_ah):
+        report = check_density_bound(towns_ah.node_grid, towns_ah.levels)
+        assert set(report.max_per_region) == set(towns_ah.node_grid.pyramid.levels())
+
+    def test_zero_levels_handled(self, city_graph):
+        ng = NodeGrid(city_graph, GridPyramid.from_graph(city_graph))
+        report = check_density_bound(ng, [0] * city_graph.n)
+        assert all(v == 0 for v in report.max_per_region.values())
+        assert report.bounded_by(0)
+
+    def test_mean_not_exceeding_max(self, towns_ah):
+        report = check_density_bound(towns_ah.node_grid, towns_ah.levels)
+        for i, mx in report.max_per_region.items():
+            assert report.mean_per_region[i] <= mx + 1e-9
+
+
+class TestCoveringProperty:
+    def test_real_assignment_has_no_violations(self, towns_ah, towns_graph):
+        violations = check_covering_property(
+            towns_graph, towns_ah.node_grid, towns_ah.levels, samples=200, seed=1
+        )
+        assert violations == []
+
+    def test_flat_levels_produce_violations(self, towns_graph, towns_ah):
+        """Sanity check that the checker can actually fail: with all
+        nodes at level 0 every separated pair violates Lemma 3."""
+        flat = [0] * towns_graph.n
+        violations = check_covering_property(
+            towns_graph, towns_ah.node_grid, flat, samples=150, seed=2
+        )
+        assert violations
+        v = violations[0]
+        assert isinstance(v, CoveringViolation)
+        assert v.level >= 1
+        assert v.path[0] == v.source and v.path[-1] == v.target
+
+    def test_downgraded_levels_still_cover(self, towns_graph):
+        """§4.4's claim: downgrading non-cover cores preserves Lemma 3."""
+        ah = AHIndex(towns_graph, downgrade=True)
+        violations = check_covering_property(
+            towns_graph, ah.node_grid, ah.levels, samples=200, seed=3
+        )
+        assert violations == []

@@ -1,0 +1,99 @@
+"""The Figure 1/2/4 running example, locked against the paper's claims."""
+
+import pytest
+
+from repro.core.arterial import region_arterial_edges
+from repro.datasets import PAPER_NODE_NAMES, PAPER_REGION_B, paper_figure1
+from repro.graph import analyze_network, distance_query, shortest_path_query
+from repro.spatial import GridPyramid, NodeGrid, Region
+
+
+def vid(name: str) -> int:
+    return PAPER_NODE_NAMES.index(name)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_figure1()
+
+
+@pytest.fixture(scope="module")
+def node_grid(graph):
+    return NodeGrid(graph, GridPyramid(0.0, 0.0, 8.0, 2))
+
+
+@pytest.fixture(scope="module")
+def region_b():
+    return Region(1, *PAPER_REGION_B)
+
+
+class TestStructure:
+    def test_eleven_nodes_bidirectional(self, graph):
+        assert graph.n == 11
+        assert graph.m == 24  # 12 undirected edges
+        for u, v, w in graph.edges():
+            assert graph.edge_weight(v, u) == w
+
+    def test_weights_are_one_or_two(self, graph):
+        assert {w for _, _, w in graph.edges()} == {1.0, 2.0}
+
+    def test_connected(self, graph):
+        assert analyze_network(graph).strongly_connected
+
+    def test_each_node_in_own_cell(self, graph, node_grid):
+        cells = {node_grid.cell_of(1, u) for u in graph.nodes()}
+        assert len(cells) == graph.n
+
+
+class TestPaperDistances:
+    def test_v1_to_v10_via_v11(self, graph):
+        """§1: dist(v1, v10) = w(v1,v11) + w(v11,v10)."""
+        assert distance_query(graph, vid("v1"), vid("v10")) == 4.0
+        path = shortest_path_query(graph, vid("v1"), vid("v10"))
+        assert list(path.nodes) == [vid("v1"), vid("v11"), vid("v10")]
+
+    def test_v9_to_v10_only_through_v6(self, graph):
+        """§3.1: the shortest path from v9 to v10 goes only through v6."""
+        path = shortest_path_query(graph, vid("v9"), vid("v10"))
+        assert list(path.nodes) == [vid("v9"), vid("v6"), vid("v10")]
+        assert path.length == 2.0
+
+    def test_v8_to_v9_passes_v10(self, graph):
+        """§3.1: the shortest path from v8 to v9 passes through v10."""
+        path = shortest_path_query(graph, vid("v8"), vid("v9"))
+        assert vid("v10") in path.nodes
+        assert path.length == 3.0
+
+    def test_v1_has_single_neighbour(self, graph):
+        """§1: v11 is the only node adjacent to v1."""
+        assert [v for v, _ in graph.out[vid("v1")]] == [vid("v11")]
+
+
+class TestRegionB:
+    def test_strip_memberships(self, node_grid, region_b):
+        """Figure 4's strips: v9/v11 in the west strip, v8/v3... east."""
+        west = [u for u in range(11) if region_b.in_west_strip(node_grid.cell_of(1, u))]
+        east = [u for u in range(11) if region_b.in_east_strip(node_grid.cell_of(1, u))]
+        assert vid("v9") in west and vid("v11") in west
+        assert vid("v8") in east
+
+    def test_center_nodes_not_border(self, node_grid, region_b):
+        """§4.2: v6 and v10 sit in the centre 2x2 (not border nodes)."""
+        assert region_b.in_center_2x2(node_grid.cell_of(1, vid("v6")))
+        assert region_b.in_center_2x2(node_grid.cell_of(1, vid("v10")))
+
+    def test_paper_arterial_edges_found(self, graph, node_grid, region_b):
+        """Definition 1's example: <v6,v10> and <v11,v7> are arterial."""
+        marked = region_arterial_edges(graph, node_grid, region_b)
+        undirected = {tuple(sorted(e)) for e in marked}
+        assert (vid("v6"), vid("v10")) in undirected
+        assert (vid("v7"), vid("v11")) in undirected
+
+    def test_spanning_path_v9_v8_crosses_at_v6_v10(self, graph):
+        """<v9,v6,v10,v8> is the local shortest west-east route."""
+        path = shortest_path_query(graph, vid("v9"), vid("v8"))
+        assert list(path.nodes) == [vid("v9"), vid("v6"), vid("v10"), vid("v8")]
+
+    def test_bisector_position(self, node_grid, region_b):
+        # B spans columns 1-4 of the 8x8 grid; its bisector is x = 3.
+        assert region_b.vertical_bisector_x(node_grid.pyramid) == pytest.approx(3.0)

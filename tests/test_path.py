@@ -1,0 +1,78 @@
+"""Unit tests for path objects and validation."""
+
+import pytest
+
+from repro.graph import GraphBuilder, Path, path_length, validate_path
+
+
+@pytest.fixture()
+def line_graph():
+    b = GraphBuilder()
+    for i in range(4):
+        b.add_node(float(i), 0.0)
+    b.add_edge(0, 1, 1.0)
+    b.add_edge(1, 2, 2.0)
+    b.add_edge(2, 3, 3.0)
+    return b.build()
+
+
+class TestPathLength:
+    def test_simple(self, line_graph):
+        assert path_length(line_graph, [0, 1, 2, 3]) == pytest.approx(6.0)
+
+    def test_single_node(self, line_graph):
+        assert path_length(line_graph, [2]) == 0.0
+
+    def test_missing_edge_raises(self, line_graph):
+        with pytest.raises(KeyError):
+            path_length(line_graph, [0, 2])
+
+
+class TestValidatePath:
+    def test_valid(self, line_graph):
+        validate_path(line_graph, [0, 1, 2], 0, 2, expected_length=3.0)
+
+    def test_empty_rejected(self, line_graph):
+        with pytest.raises(ValueError, match="empty"):
+            validate_path(line_graph, [], 0, 2)
+
+    def test_wrong_source(self, line_graph):
+        with pytest.raises(ValueError, match="starts"):
+            validate_path(line_graph, [1, 2], 0, 2)
+
+    def test_wrong_target(self, line_graph):
+        with pytest.raises(ValueError, match="ends"):
+            validate_path(line_graph, [0, 1], 0, 2)
+
+    def test_missing_edge(self, line_graph):
+        with pytest.raises(ValueError, match="missing edge"):
+            validate_path(line_graph, [0, 2], 0, 2)
+
+    def test_length_mismatch(self, line_graph):
+        with pytest.raises(ValueError, match="does not match"):
+            validate_path(line_graph, [0, 1, 2], 0, 2, expected_length=99.0)
+
+
+class TestPath:
+    def test_from_nodes(self, line_graph):
+        p = Path.from_nodes(line_graph, [0, 1, 2, 3])
+        assert p.length == pytest.approx(6.0)
+        assert p.source == 0
+        assert p.target == 3
+        assert p.hop_count == 3
+        assert p.edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_validate_roundtrip(self, line_graph):
+        p = Path.from_nodes(line_graph, [0, 1, 2])
+        p.validate(line_graph)
+
+    def test_validate_detects_bad_length(self, line_graph):
+        p = Path((0, 1, 2), 100.0)
+        with pytest.raises(ValueError):
+            p.validate(line_graph)
+
+    def test_path_is_hashable_and_frozen(self, line_graph):
+        p = Path.from_nodes(line_graph, [0, 1])
+        assert hash(p) is not None
+        with pytest.raises(AttributeError):
+            p.length = 5.0

@@ -1,0 +1,151 @@
+"""Tests for weight perturbation (Appendix A) and SlidingWindow (Appendix B)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import perturb_weights, recommended_tau, sliding_window
+from repro.core.lemmas import check_sliding_window
+from repro.datasets import grid_city, towns_and_highways
+from repro.graph import GraphBuilder
+from repro.graph.traversal import dijkstra_tree, distance_query
+from repro.spatial import GridPyramid, NodeGrid
+
+
+def diamond_graph():
+    """Two equal-length routes between a pair — a guaranteed tie."""
+    b = GraphBuilder()
+    s = b.add_node(0, 0)
+    up = b.add_node(1, 1)
+    down = b.add_node(1, -1)
+    t = b.add_node(2, 0)
+    b.add_bidirectional_edge(s, up, 1.0)
+    b.add_bidirectional_edge(up, t, 1.0)
+    b.add_bidirectional_edge(s, down, 1.0)
+    b.add_bidirectional_edge(down, t, 1.0)
+    return b.build()
+
+
+class TestPerturbation:
+    def test_distances_recoverable_for_integer_weights(self):
+        g = diamond_graph()
+        p = perturb_weights(g, seed=1)
+        assert p.integral
+        for s, t in [(0, 3), (1, 2), (0, 2)]:
+            perturbed = distance_query(p.graph, s, t)
+            assert p.unperturb_distance(perturbed) == distance_query(g, s, t)
+
+    def test_breaks_ties(self):
+        g = diamond_graph()
+        p = perturb_weights(g, seed=1)
+        via_up = p.graph.edge_weight(0, 1) + p.graph.edge_weight(1, 3)
+        via_down = p.graph.edge_weight(0, 2) + p.graph.edge_weight(2, 3)
+        assert via_up != via_down
+
+    def test_order_preserved_for_different_lengths(self):
+        g = grid_city(6, 6, jitter=0.0, prune=0.0, seed=0, block=1.0)
+        # Integer-ish weights: every edge weight is block/speed; scale to ints.
+        b = GraphBuilder()
+        for u in g.nodes():
+            b.add_node(*g.coord(u))
+        for u, v, w in g.edges():
+            b.add_edge(u, v, round(w * 30))
+        gi = b.build()
+        p = perturb_weights(gi, seed=3)
+        rng = random.Random(0)
+        for _ in range(20):
+            s, t = rng.randrange(gi.n), rng.randrange(gi.n)
+            want = distance_query(gi, s, t)
+            got = p.unperturb_distance(distance_query(p.graph, s, t))
+            assert got == want
+
+    def test_nuance_accessor(self):
+        g = diamond_graph()
+        p = perturb_weights(g, seed=1)
+        rho = p.nuance_of(0, 1)
+        assert 0 <= rho < max(2, g.n)
+        assert p.graph.edge_weight(0, 1) == pytest.approx(p.scale * 1.0 + rho)
+
+    def test_recommended_tau_formula(self):
+        g = diamond_graph()
+        # n=4, delta=4 -> C(4,2)=6; tau = 32*h*n^3*6
+        assert recommended_tau(g, h=2) == 32 * 2 * 64 * 6
+
+    def test_inf_passthrough(self):
+        g = diamond_graph()
+        p = perturb_weights(g)
+        assert p.unperturb_distance(float("inf")) == float("inf")
+
+
+class TestSlidingWindow:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = towns_and_highways(4, seed=12)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        return g, ng
+
+    def test_short_path_returns_none(self, setup):
+        g, ng = setup
+        res = sliding_window(ng, [0], 1)
+        assert res is None
+
+    def test_spanning_paths_found_and_valid(self, setup):
+        g, ng = setup
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(15):
+            s = rng.randrange(g.n)
+            dist, parent = dijkstra_tree(g, s)
+            t = max(dist, key=dist.get)
+            path = [t]
+            while path[-1] != s:
+                path.append(parent[path[-1]])
+            path.reverse()
+            for level in ng.pyramid.levels():
+                err = check_sliding_window(ng, path, level)
+                assert err is None, f"level {level}: {err}"
+                if sliding_window(ng, path, level) is not None:
+                    checked += 1
+        assert checked > 0
+
+    def test_subpath_endpoints_straddle_bisector(self, setup):
+        g, ng = setup
+        dist, parent = dijkstra_tree(g, 0)
+        t = max(dist, key=dist.get)
+        path = [t]
+        while path[-1] != 0:
+            path.append(parent[path[-1]])
+        path.reverse()
+        res = sliding_window(ng, path, 1)
+        assert res is not None
+        a, b = res.subpath
+        cells = [ng.cell_of(1, u) for u in path]
+        if res.axis == "vertical":
+            off_a = cells[a][0] - res.region.rx
+            off_b = cells[b][0] - res.region.rx
+        else:
+            off_a = cells[a][1] - res.region.ry
+            off_b = cells[b][1] - res.region.ry
+        assert (off_a <= 1) != (off_b <= 1)
+        assert off_a not in (1, 2) and off_b not in (1, 2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_sliding_window_on_random_walks(seed):
+    """SlidingWindow output stays valid for arbitrary (non-shortest) walks."""
+    g = grid_city(10, 10, seed=seed % 7)
+    ng = NodeGrid(g, GridPyramid.from_graph(g))
+    rng = random.Random(seed)
+    u = rng.randrange(g.n)
+    walk = [u]
+    for _ in range(30):
+        nbrs = [v for v, _ in g.out[walk[-1]]]
+        if not nbrs:
+            break
+        walk.append(rng.choice(nbrs))
+    for level in ng.pyramid.levels():
+        err = check_sliding_window(ng, walk, level)
+        assert err is None, f"level {level}: {err}"

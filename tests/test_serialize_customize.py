@@ -1,0 +1,130 @@
+"""Tests for index serialization and metric customization (§7 extensions)."""
+
+import io
+
+import pytest
+
+from repro.core import AHIndex, index_bytes, load_index, save_index
+from repro.graph import GraphBuilder
+from repro.graph.traversal import distance_query
+
+from conftest import random_pairs
+
+
+def reweighted(graph, factor_fn):
+    """Copy of ``graph`` with each weight passed through ``factor_fn``."""
+    b = GraphBuilder()
+    for u in graph.nodes():
+        b.add_node(*graph.coord(u))
+    for u, v, w in graph.edges():
+        b.add_edge(u, v, factor_fn(u, v, w))
+    return b.build()
+
+
+class TestSerialization:
+    def test_roundtrip_distances(self, towns_ah, towns_graph):
+        buf = io.BytesIO()
+        save_index(towns_ah, buf)
+        buf.seek(0)
+        loaded = load_index(buf, towns_graph)
+        for s, t in random_pairs(towns_graph, 40, seed=1):
+            assert loaded.distance(s, t) == pytest.approx(
+                towns_ah.distance(s, t)
+            )
+
+    def test_roundtrip_paths(self, towns_ah, towns_graph):
+        buf = io.BytesIO()
+        save_index(towns_ah, buf)
+        buf.seek(0)
+        loaded = load_index(buf, towns_graph)
+        for s, t in random_pairs(towns_graph, 12, seed=2):
+            p = loaded.shortest_path(s, t)
+            p.validate(towns_graph)
+            assert p.length == pytest.approx(
+                distance_query(towns_graph, s, t)
+            )
+
+    def test_flags_preserved(self, towns_graph):
+        original = AHIndex(towns_graph, proximity=False, stall_on_demand=True)
+        buf = io.BytesIO()
+        save_index(original, buf)
+        buf.seek(0)
+        loaded = load_index(buf, towns_graph)
+        assert loaded.proximity is False
+        assert loaded.stall_on_demand is True
+
+    def test_file_roundtrip(self, towns_ah, towns_graph, tmp_path):
+        path = str(tmp_path / "index.ahidx")
+        save_index(towns_ah, path)
+        loaded = load_index(path, towns_graph)
+        s, t = 0, towns_graph.n - 1
+        assert loaded.distance(s, t) == pytest.approx(towns_ah.distance(s, t))
+
+    def test_bad_magic_rejected(self, towns_graph):
+        with pytest.raises(ValueError, match="magic"):
+            load_index(io.BytesIO(b"garbage here"), towns_graph)
+
+    def test_wrong_graph_rejected(self, towns_ah, city_graph):
+        buf = io.BytesIO()
+        save_index(towns_ah, buf)
+        buf.seek(0)
+        with pytest.raises(ValueError, match="nodes"):
+            load_index(buf, city_graph)
+
+    def test_index_bytes_reasonable(self, towns_ah, towns_graph):
+        size = index_bytes(towns_ah)
+        # Compact: well under 200 bytes per stored entry.
+        assert 0 < size < 200 * towns_ah.index_size()
+
+    def test_loaded_index_rejects_customization(self, towns_ah, towns_graph):
+        buf = io.BytesIO()
+        save_index(towns_ah, buf)
+        buf.seek(0)
+        loaded = load_index(buf, towns_graph)
+        with pytest.raises(ValueError, match="deserialized"):
+            loaded.with_weights(towns_graph)
+
+
+class TestCustomization:
+    def test_exact_on_new_metric(self, towns_ah, towns_graph):
+        jam = reweighted(
+            towns_graph, lambda u, v, w: w * (3.0 if w < 15 else 1.0)
+        )
+        custom = towns_ah.with_weights(jam)
+        for s, t in random_pairs(towns_graph, 40, seed=3):
+            assert custom.distance(s, t) == pytest.approx(
+                distance_query(jam, s, t)
+            )
+
+    def test_paths_valid_on_new_metric(self, towns_ah, towns_graph):
+        jam = reweighted(towns_graph, lambda u, v, w: w * 1.7)
+        custom = towns_ah.with_weights(jam)
+        for s, t in random_pairs(towns_graph, 10, seed=4):
+            p = custom.shortest_path(s, t)
+            p.validate(jam)
+
+    def test_much_faster_than_rebuild(self, towns_ah, towns_graph):
+        jam = reweighted(towns_graph, lambda u, v, w: w * 2.0)
+        custom = towns_ah.with_weights(jam)
+        assert custom.build_times["customization"] < max(
+            0.05, towns_ah.build_time() / 5
+        )
+
+    def test_uniform_scaling_scales_distances(self, towns_ah, towns_graph):
+        doubled = reweighted(towns_graph, lambda u, v, w: w * 2.0)
+        custom = towns_ah.with_weights(doubled)
+        for s, t in random_pairs(towns_graph, 15, seed=5):
+            assert custom.distance(s, t) == pytest.approx(
+                2.0 * towns_ah.distance(s, t)
+            )
+
+    def test_node_count_mismatch_rejected(self, towns_ah, city_graph):
+        with pytest.raises(ValueError, match="nodes"):
+            towns_ah.with_weights(city_graph)
+
+    def test_customized_disables_metric_dependent_constraints(
+        self, towns_ah, towns_graph
+    ):
+        custom = towns_ah.with_weights(towns_graph)
+        assert custom.proximity is False
+        assert custom.use_elevating is False

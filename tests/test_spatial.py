@@ -1,0 +1,249 @@
+"""Tests for geometry helpers, the grid pyramid and regions."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import grid_city, paper_figure1
+from repro.spatial import (
+    GridPyramid,
+    NodeGrid,
+    Region,
+    bounding_square,
+    euclidean_distance,
+    linf_distance,
+    nonempty_regions,
+    pairwise_min_linf,
+    regions_covering_cell,
+    segment_crosses_horizontal,
+    segment_crosses_vertical,
+)
+
+
+class TestGeometry:
+    def test_linf(self):
+        assert linf_distance((0, 0), (3, -4)) == 4.0
+        assert linf_distance((1, 1), (1, 1)) == 0.0
+
+    def test_euclid(self):
+        assert euclidean_distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_bounding_square_is_square(self):
+        ox, oy, side = bounding_square([(0, 0), (10, 4)])
+        assert (ox, oy) == (0, 0)
+        assert side == 10.0
+
+    def test_bounding_square_degenerate(self):
+        ox, oy, side = bounding_square([(5, 5)])
+        assert side == 1.0
+
+    def test_bounding_square_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_square([])
+
+    def test_segment_crossings(self):
+        assert segment_crosses_vertical(0.0, 2.0, 1.0)
+        assert not segment_crosses_vertical(1.5, 2.0, 1.0)
+        assert segment_crosses_horizontal(-1.0, 1.0, 0.0)
+        assert segment_crosses_vertical(1.0, 1.0, 1.0)  # touching counts
+
+    @pytest.mark.parametrize("n", [2, 10, 300])
+    def test_pairwise_min_linf_matches_bruteforce(self, n):
+        rng = random.Random(n)
+        pts = [(rng.random() * 100, rng.random() * 100) for _ in range(n)]
+        brute = min(
+            linf_distance(pts[i], pts[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        )
+        assert pairwise_min_linf(pts) == pytest.approx(brute)
+
+
+class TestGridPyramid:
+    def test_coarsest_grid_is_4x4(self):
+        pyr = GridPyramid(0, 0, 16.0, 3)
+        assert pyr.cells_per_side(pyr.h) == 4
+        assert pyr.cells_per_side(1) == 16
+
+    def test_cell_side_halves_per_level(self):
+        pyr = GridPyramid(0, 0, 16.0, 3)
+        for i in range(1, pyr.h):
+            assert pyr.cell_side(i + 1) == pytest.approx(2 * pyr.cell_side(i))
+
+    def test_cell_of_clamps_to_grid(self):
+        pyr = GridPyramid(0, 0, 8.0, 2)
+        assert pyr.cell_of(2, -5.0, -5.0) == (0, 0)
+        assert pyr.cell_of(2, 99.0, 99.0) == (3, 3)
+
+    def test_parent_cell(self):
+        pyr = GridPyramid(0, 0, 8.0, 2)
+        assert pyr.parent_cell((5, 3)) == (2, 1)
+
+    def test_from_points_splits_until_unique(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (7.0, 7.0)]
+        pyr = GridPyramid.from_points(pts)
+        cells = {pyr.cell_of(1, x, y) for x, y in pts}
+        assert len(cells) == 3
+
+    def test_leaf_capacity_reduces_depth(self):
+        g = grid_city(10, 10, seed=3)
+        deep = GridPyramid.from_graph(g)
+        shallow = GridPyramid.from_graph(g, leaf_capacity=4)
+        assert shallow.h <= deep.h
+
+    def test_leaf_capacity_validated(self):
+        with pytest.raises(ValueError):
+            GridPyramid.from_points([(0, 0)], leaf_capacity=0)
+
+    def test_invalid_levels_raise(self):
+        pyr = GridPyramid(0, 0, 8.0, 2)
+        with pytest.raises(ValueError):
+            pyr.cells_per_side(0)
+        with pytest.raises(ValueError):
+            pyr.cells_per_side(3)
+
+    def test_h_bound_against_diameter_ratio(self):
+        # h <= log2(dmax/dmin) - 1 + slack for the 4x4 base grid.
+        g = grid_city(12, 12, seed=1)
+        pyr = GridPyramid.from_graph(g)
+        pts = list(zip(g.xs, g.ys))
+        dmax = max(
+            linf_distance(pts[0], p) for p in pts
+        )  # lower bound on the true dmax
+        dmin = pairwise_min_linf(pts)
+        assert pyr.h <= math.log2(4 * dmax / dmin)
+
+
+class TestNodeGrid:
+    def test_cells_match_pyramid(self):
+        g = grid_city(8, 8, seed=2)
+        pyr = GridPyramid.from_graph(g)
+        ng = NodeGrid(g, pyr)
+        for u in range(0, g.n, 7):
+            for i in pyr.levels():
+                assert ng.cell_of(i, u) == pyr.cell_of(i, g.xs[u], g.ys[u])
+
+    def test_chebyshev_symmetry_and_monotonicity(self):
+        g = grid_city(8, 8, seed=2)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        for u, v in [(0, 63), (5, 40), (11, 12)]:
+            prev = None
+            for i in ng.pyramid.levels():
+                c = ng.chebyshev_cells(i, u, v)
+                assert c == ng.chebyshev_cells(i, v, u)
+                if prev is not None:
+                    assert c <= prev  # coarser grids shrink distances
+                prev = c
+
+    def test_same_3x3_region(self):
+        g = paper_figure1()
+        pyr = GridPyramid(0.0, 0.0, 8.0, 2)
+        ng = NodeGrid(g, pyr)
+        # v6 (cell 2,4) and v10 (cell 3,4) at level 1: cheb 1 -> shared 3x3.
+        assert ng.same_3x3_region(1, 5, 9)
+        # v1 (0,3) and v3 (5,4): cheb 5 -> no common 3x3 region at level 1.
+        assert not ng.same_3x3_region(1, 0, 2)
+
+    def test_coarsest_separating_level(self):
+        g = grid_city(20, 20, seed=4)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        for u, v in [(0, g.n - 1), (0, 1), (5, 250)]:
+            j = ng.coarsest_separating_level(u, v)
+            if j > 0:
+                assert ng.chebyshev_cells(j, u, v) > 2
+            if j < ng.pyramid.h:
+                assert ng.chebyshev_cells(j + 1, u, v) <= 2
+
+    def test_buckets_cover_all_nodes(self):
+        g = grid_city(8, 8, seed=2)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        for i in ng.pyramid.levels():
+            buckets = ng.buckets(i)
+            assert sum(len(b) for b in buckets.values()) == g.n
+
+    def test_buckets_subset(self):
+        g = grid_city(8, 8, seed=2)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        subset = [0, 5, 9]
+        buckets = ng.buckets(2, subset)
+        assert sorted(u for b in buckets.values() for u in b) == subset
+
+
+class TestRegion:
+    def test_strips_and_center(self):
+        r = Region(1, 2, 3)
+        assert r.in_west_strip((2, 4))
+        assert r.in_east_strip((5, 6))
+        assert r.in_south_strip((3, 3))
+        assert r.in_north_strip((4, 6))
+        assert r.in_center_2x2((3, 4))
+        assert not r.in_center_2x2((2, 3))
+
+    def test_sides_and_adjacency(self):
+        r = Region(1, 0, 0)
+        assert r.side_of_vertical((0, 0)) == -1
+        assert r.side_of_vertical((3, 0)) == 1
+        assert r.adjacent_to_vertical((1, 0))
+        assert r.adjacent_to_vertical((2, 3))
+        assert not r.adjacent_to_vertical((0, 0))
+        assert r.side_of_horizontal((0, 1)) == -1
+        assert r.adjacent_to_horizontal((0, 2))
+
+    def test_bisector_positions(self):
+        pyr = GridPyramid(0, 0, 16.0, 3)  # level 3: 4 cells of side 4
+        r = Region(3, 0, 0)
+        assert r.vertical_bisector_x(pyr) == pytest.approx(8.0)
+        assert r.horizontal_bisector_y(pyr) == pytest.approx(8.0)
+        assert r.bounds(pyr) == (0.0, 0.0, 16.0, 16.0)
+
+    def test_contains_region_same_level(self):
+        big = Region(2, 0, 0)
+        assert big.contains_region(Region(2, 0, 0))
+        assert not big.contains_region(Region(2, 1, 0))
+
+    def test_contains_region_cross_level(self):
+        coarse = Region(2, 0, 0)  # covers fine cells [0,8) x [0,8)
+        assert coarse.contains_region(Region(1, 0, 0))
+        assert coarse.contains_region(Region(1, 4, 4))
+        assert not coarse.contains_region(Region(1, 5, 0))
+        # A coarser region can never be inside a finer one.
+        assert not Region(1, 0, 0).contains_region(Region(2, 0, 0))
+
+
+class TestRegionEnumeration:
+    def test_regions_covering_cell_bounds(self):
+        regions = list(regions_covering_cell((0, 0), 8, 1))
+        assert all(r.rx == 0 and r.ry == 0 for r in regions) is False or regions
+        for r in regions:
+            assert 0 <= r.rx <= 4 and 0 <= r.ry <= 4
+            assert r.contains_cell((0, 0))
+
+    def test_interior_cell_has_16_placements(self):
+        regions = list(regions_covering_cell((5, 5), 16, 1))
+        assert len(regions) == 16
+
+    def test_nonempty_regions_contain_their_nodes(self):
+        g = grid_city(8, 8, seed=2)
+        ng = NodeGrid(g, GridPyramid.from_graph(g))
+        mapping = nonempty_regions(ng, ng.pyramid.h)
+        for region, nodes in mapping.items():
+            for u in nodes:
+                assert region.contains_cell(ng.cell_of(region.level, u))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=st.floats(0, 100, allow_nan=False),
+    y=st.floats(0, 100, allow_nan=False),
+    level=st.integers(1, 3),
+)
+def test_property_cell_of_consistent_with_bounds(x, y, level):
+    """A point's cell bounds always contain the point (after clamping)."""
+    pyr = GridPyramid(0, 0, 100.0 + 1e-9, 3)
+    cell = pyr.cell_of(level, x, y)
+    x0, y0, x1, y1 = pyr.cell_bounds(level, cell)
+    assert x0 - 1e-9 <= x <= x1 + pyr.cell_side(level) * 1e-9 + 1e-9 or x >= 100.0
+    assert y0 - 1e-9 <= y <= y1 + 1e-9 or y >= 100.0

@@ -1,0 +1,110 @@
+"""Tests for the scaled dataset suite and the Q1..Q10 workload generator."""
+
+import pytest
+
+from repro.datasets import (
+    NUM_BUCKETS,
+    SUITE,
+    dataset,
+    dataset_spec,
+    estimate_lmax,
+    generate_workloads,
+    grid_city,
+    suite_table,
+)
+from repro.graph import analyze_network
+from repro.graph.traversal import dijkstra_distances, distance_query
+
+
+class TestSuite:
+    def test_ladder_matches_paper_order(self):
+        assert SUITE[0] == "DE"
+        assert SUITE[-1] == "US"
+        assert len(SUITE) == 10
+
+    def test_specs_monotone_sizes(self):
+        approx = [dataset_spec(name).approx_nodes for name in SUITE]
+        assert approx == sorted(approx)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown suite dataset"):
+            dataset_spec("XX")
+
+    def test_dataset_is_cached(self):
+        a = dataset("DE")
+        b = dataset("DE")
+        assert a is b
+
+    def test_dataset_no_cache_rebuilds(self):
+        a = dataset("DE")
+        b = dataset("DE", use_cache=False)
+        assert a is not b
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_de_is_valid_network(self):
+        report = analyze_network(dataset("DE"))
+        assert report.strongly_connected
+        assert report.n > 300
+
+    def test_suite_table_renders(self):
+        table = suite_table(["DE"])
+        assert "Delaware" in table
+        assert "48,812" in table
+
+
+class TestLmaxEstimate:
+    def test_double_sweep_close_to_truth(self):
+        g = grid_city(8, 8, seed=3)
+        truth = 0.0
+        for s in range(g.n):
+            truth = max(truth, max(dijkstra_distances(g, s).values()))
+        est = estimate_lmax(g, seed=1, sweeps=6)
+        assert est <= truth + 1e-9
+        assert est >= 0.8 * truth  # double sweep is near-exact on grids
+
+
+class TestWorkloads:
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return generate_workloads(dataset("DE"), queries_per_bucket=15, seed=3)
+
+    def test_bucket_count(self, workloads):
+        assert len(workloads.buckets) == NUM_BUCKETS
+
+    def test_pairs_fall_in_their_band(self, workloads):
+        g = dataset("DE")
+        for i in workloads.non_empty_buckets():
+            lo, hi = workloads.bounds(i)
+            for s, t in list(workloads.bucket(i))[:5]:
+                d = distance_query(g, s, t)
+                assert lo <= d < hi
+
+    def test_bands_are_dyadic(self, workloads):
+        for i in range(1, NUM_BUCKETS + 1):
+            lo, hi = workloads.bounds(i)
+            assert hi == pytest.approx(2 * lo)
+
+    def test_top_buckets_filled(self, workloads):
+        # The long-distance buckets always exist on a connected network.
+        assert len(workloads.bucket(9)) > 0
+        assert len(workloads.bucket(10)) > 0
+
+    def test_bucket_index_validation(self, workloads):
+        with pytest.raises(ValueError):
+            workloads.bucket(0)
+        with pytest.raises(ValueError):
+            workloads.bucket(11)
+
+    def test_deterministic(self):
+        g = dataset("DE")
+        a = generate_workloads(g, queries_per_bucket=5, seed=7)
+        b = generate_workloads(g, queries_per_bucket=5, seed=7)
+        assert a.buckets == b.buckets
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        with pytest.raises(ValueError):
+            generate_workloads(b.build())

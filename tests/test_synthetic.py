@@ -1,0 +1,122 @@
+"""Tests for the synthetic road-network generators."""
+
+import pytest
+
+from repro.datasets import (
+    SPEED_ARTERIAL,
+    SPEED_HIGHWAY,
+    SPEED_LOCAL,
+    grid_city,
+    random_geometric,
+    towns_and_highways,
+)
+from repro.graph import analyze_network
+from repro.spatial import euclidean_distance
+
+
+class TestGridCity:
+    def test_deterministic(self):
+        a = grid_city(8, 8, seed=5)
+        b = grid_city(8, 8, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert a.xs == b.xs and a.ys == b.ys
+
+    def test_different_seeds_differ(self):
+        a = grid_city(8, 8, seed=5)
+        b = grid_city(8, 8, seed=6)
+        assert a.xs != b.xs
+
+    def test_node_count(self):
+        assert grid_city(7, 9, seed=1).n == 63
+
+    def test_strongly_connected_after_pruning(self):
+        g = grid_city(12, 12, prune=0.4, seed=7)
+        assert analyze_network(g).strongly_connected
+
+    def test_oneway_preserves_strong_connectivity(self):
+        g = grid_city(10, 10, oneway=0.5, prune=0.3, seed=8)
+        report = analyze_network(g)
+        assert report.strongly_connected
+        # One-way streets create directional asymmetry.
+        asym = sum(1 for u, v, _ in g.edges() if not g.has_edge(v, u))
+        assert asym > 0
+
+    def test_highway_edges_are_faster(self):
+        g = grid_city(20, 20, jitter=0.0, prune=0.0, seed=0)
+        speeds = []
+        for u, v, w in g.edges():
+            d = euclidean_distance(g.coord(u), g.coord(v))
+            speeds.append(d / w)
+        assert max(speeds) == pytest.approx(SPEED_HIGHWAY)
+        assert min(speeds) == pytest.approx(SPEED_LOCAL)
+        assert any(abs(s - SPEED_ARTERIAL) < 1e-9 for s in speeds)
+
+    def test_origin_offsets_coordinates(self):
+        g = grid_city(4, 4, origin=(1000.0, 2000.0), jitter=0.0, seed=0)
+        assert min(g.xs) == pytest.approx(1000.0)
+        assert min(g.ys) == pytest.approx(2000.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+        with pytest.raises(ValueError):
+            grid_city(5, 5, prune=1.0)
+        with pytest.raises(ValueError):
+            grid_city(5, 5, oneway=1.5)
+
+    def test_degree_bounded(self):
+        g = grid_city(15, 15, seed=3)
+        assert analyze_network(g).max_degree <= 8
+
+
+class TestTownsAndHighways:
+    def test_deterministic(self):
+        a = towns_and_highways(4, seed=2)
+        b = towns_and_highways(4, seed=2)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_connected(self):
+        g = towns_and_highways(5, seed=3)
+        assert analyze_network(g).strongly_connected
+
+    def test_size_scales_with_towns(self):
+        small = towns_and_highways(3, 5, 5, seed=4)
+        large = towns_and_highways(6, 5, 5, seed=4)
+        assert large.n == 2 * small.n
+
+    def test_highway_speed_present(self):
+        g = towns_and_highways(4, seed=5)
+        best = 0.0
+        for u, v, w in g.edges():
+            d = euclidean_distance(g.coord(u), g.coord(v))
+            if d > 0:
+                best = max(best, d / w)
+        assert best == pytest.approx(SPEED_HIGHWAY, rel=1e-6)
+
+    def test_needs_two_towns(self):
+        with pytest.raises(ValueError):
+            towns_and_highways(1)
+
+    def test_impossible_placement_raises(self):
+        with pytest.raises(ValueError, match="could not place"):
+            towns_and_highways(50, area=2000.0, min_separation_blocks=50, seed=1)
+
+
+class TestRandomGeometric:
+    def test_connected_by_construction(self):
+        g = random_geometric(120, k=2, seed=6)
+        assert analyze_network(g).strongly_connected
+
+    def test_deterministic(self):
+        a = random_geometric(60, seed=7)
+        b = random_geometric(60, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_geometric(1)
+
+    def test_k_controls_density(self):
+        sparse = random_geometric(80, k=2, seed=8)
+        dense = random_geometric(80, k=6, seed=8)
+        assert dense.m > sparse.m

@@ -1,0 +1,106 @@
+"""Tests for Transit Node Routing, including the paper's cited flaw."""
+
+import pytest
+
+from repro.baselines.tnr import TNREngine
+from repro.graph.traversal import distance_query
+
+from conftest import random_pairs
+
+
+@pytest.fixture(scope="module")
+def tnr(request):
+    towns_graph = request.getfixturevalue("towns_graph")
+    return TNREngine(towns_graph, transit_count=20, locality_cells=40)
+
+
+class TestStructure:
+    def test_transit_nodes_are_top_ranks(self, tnr, towns_graph):
+        rank = tnr._ch.rank
+        cutoff = sorted(rank, reverse=True)[len(tnr.transit) - 1]
+        assert all(rank[t] >= cutoff for t in tnr.transit)
+
+    def test_access_distances_upper_bound(self, tnr, towns_graph):
+        """Access distances come from upward-only searches, so they are
+        real path lengths: never below the true distance.  (End-to-end
+        exactness of the access/table composition is tested separately —
+        individual access distances need not be point-to-point optimal.)
+        """
+        exact_hits = 0
+        for u in range(0, towns_graph.n, 17):
+            for a, d in tnr._access_f[u]:
+                want = distance_query(towns_graph, u, a)
+                assert d >= want - 1e-9 * max(1.0, want)
+                if d == pytest.approx(want):
+                    exact_hits += 1
+            for a, d in tnr._access_b[u]:
+                want = distance_query(towns_graph, a, u)
+                assert d >= want - 1e-9 * max(1.0, want)
+        assert exact_hits > 0  # the common case is exact
+
+    def test_table_exact(self, tnr, towns_graph):
+        for i, a in enumerate(tnr.transit[:6]):
+            for j, b in enumerate(tnr.transit[:6]):
+                assert tnr._table[i][j] == pytest.approx(
+                    distance_query(towns_graph, a, b)
+                )
+
+    def test_transit_count_validated(self, towns_graph):
+        with pytest.raises(ValueError):
+            TNREngine(towns_graph, transit_count=0)
+
+    def test_index_size_includes_table(self, tnr):
+        assert tnr.index_size() >= len(tnr.transit) ** 2
+
+
+class TestQueries:
+    def test_exact_with_conservative_filter(self, tnr, towns_graph):
+        """With a conservative locality filter TNR is exact (the regime
+        Bast et al. designed for)."""
+        for s, t in random_pairs(towns_graph, 60, seed=8):
+            want = distance_query(towns_graph, s, t)
+            assert tnr.distance(s, t) == pytest.approx(want)
+
+    def test_table_never_underestimates(self, tnr, towns_graph):
+        """The table composes real path segments, so it upper-bounds."""
+        for s, t in random_pairs(towns_graph, 40, seed=9):
+            want = distance_query(towns_graph, s, t)
+            got = tnr.table_distance(s, t)
+            assert got >= want - 1e-9 * max(1.0, want)
+
+    def test_paths_delegate_and_validate(self, tnr, towns_graph):
+        for s, t in random_pairs(towns_graph, 10, seed=10):
+            p = tnr.shortest_path(s, t)
+            p.validate(towns_graph)
+
+    def test_far_pairs_skip_the_graph(self, tnr, towns_graph):
+        """At least some workload pairs are answered from the table."""
+        non_local = [
+            (s, t)
+            for s, t in random_pairs(towns_graph, 60, seed=11)
+            if not tnr.is_local(s, t)
+        ]
+        assert non_local  # the filter actually engages
+        for s, t in non_local[:20]:
+            assert tnr.distance(s, t) == pytest.approx(
+                distance_query(towns_graph, s, t)
+            )
+
+
+class TestThePapersCitedFlaw:
+    def test_aggressive_filter_can_be_wrong(self, towns_graph):
+        """Section 5 (citing [25]): the TNR heuristic 'may return
+        incorrect query results'.  With the locality filter disabled the
+        table is consulted for *near* pairs too, whose shortest paths
+        never climb to a transit node — and some answers come out too
+        large.  This test reproduces that published observation."""
+        flawed = TNREngine(towns_graph, transit_count=6, locality_cells=0)
+        wrong = 0
+        for s, t in random_pairs(towns_graph, 120, seed=12):
+            want = distance_query(towns_graph, s, t)
+            got = flawed.distance(s, t)
+            if got > want * (1 + 1e-9):
+                wrong += 1
+        assert wrong > 0, (
+            "expected the aggressive configuration to exhibit the flaw"
+        )

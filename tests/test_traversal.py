@@ -1,0 +1,218 @@
+"""Tests for the Dijkstra toolkit, including property-based checks."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import grid_city, random_geometric
+from repro.graph import GraphBuilder
+from repro.graph.traversal import (
+    bidirectional_distance,
+    bidirectional_path,
+    dijkstra_distances,
+    dijkstra_tree,
+    distance_query,
+    multi_source_distances,
+    shortest_path_query,
+    shortest_path_tree,
+)
+
+INF = float("inf")
+
+
+def brute_force_distances(graph):
+    """Floyd-Warshall ground truth for tiny graphs."""
+    n = graph.n
+    dist = [[INF] * n for _ in range(n)]
+    for i in range(n):
+        dist[i][i] = 0.0
+    for u, v, w in graph.edges():
+        if w < dist[u][v]:
+            dist[u][v] = w
+    for k in range(n):
+        dk = dist[k]
+        for i in range(n):
+            dik = dist[i][k]
+            if dik == INF:
+                continue
+            di = dist[i]
+            for j in range(n):
+                alt = dik + dk[j]
+                if alt < di[j]:
+                    di[j] = alt
+    return dist
+
+
+def tiny_random_graph(seed, n=12, p=0.35):
+    rng = random.Random(seed)
+    b = GraphBuilder()
+    for i in range(n):
+        b.add_node(rng.random() * 10, rng.random() * 10)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                b.add_edge(u, v, rng.uniform(0.5, 5.0))
+    return b.build()
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_source_matches_floyd_warshall(self, seed):
+        g = tiny_random_graph(seed)
+        truth = brute_force_distances(g)
+        for s in range(g.n):
+            settled = dijkstra_distances(g, s)
+            for t in range(g.n):
+                want = truth[s][t]
+                if want == INF:
+                    assert t not in settled
+                else:
+                    assert settled[t] == pytest.approx(want)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bidirectional_matches(self, seed):
+        g = tiny_random_graph(seed)
+        truth = brute_force_distances(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert bidirectional_distance(g, s, t) == pytest.approx(
+                    truth[s][t]
+                ) or (truth[s][t] == INF and bidirectional_distance(g, s, t) == INF)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reverse_search_matches_forward_on_reversed_graph(self, seed):
+        g = tiny_random_graph(seed)
+        r = g.reversed()
+        for s in (0, g.n // 2):
+            back = dijkstra_distances(g, s, reverse=True)
+            fwd = dijkstra_distances(r, s)
+            assert back == pytest.approx(fwd)
+
+
+class TestEarlyExit:
+    def test_target_early_exit_consistent(self):
+        g = grid_city(8, 8, seed=3)
+        full = dijkstra_distances(g, 0)
+        for t in (5, 17, 40, 63):
+            assert distance_query(g, 0, t) == pytest.approx(full[t])
+
+    def test_cutoff_limits_settled_set(self):
+        g = grid_city(8, 8, seed=3)
+        full = dijkstra_distances(g, 0)
+        radius = sorted(full.values())[len(full) // 4]
+        limited = dijkstra_distances(g, 0, cutoff=radius)
+        assert all(d <= radius for d in limited.values())
+        assert len(limited) < len(full)
+
+    def test_unreachable_returns_inf(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 1)
+        b.add_edge(0, 1, 1.0)  # no way back
+        g = b.build()
+        assert distance_query(g, 1, 0) == INF
+        assert shortest_path_query(g, 1, 0) is None
+        assert bidirectional_path(g, 1, 0) is None
+
+
+class TestTrees:
+    def test_tree_paths_reconstruct(self):
+        g = grid_city(8, 8, seed=4)
+        dist, parent = shortest_path_tree(g, 0)
+        for t in (10, 33, 63):
+            nodes = [t]
+            u = t
+            while u != 0:
+                u = parent[u]
+                nodes.append(u)
+            nodes.reverse()
+            total = sum(g.edge_weight(a, b) for a, b in zip(nodes, nodes[1:]))
+            assert total == pytest.approx(dist[t])
+
+    def test_backward_tree(self):
+        g = grid_city(8, 8, seed=4)
+        dist, parent = dijkstra_tree(g, 7, reverse=True)
+        # parent pointers lead toward the root in the reverse graph.
+        for t in (20, 45):
+            u = t
+            steps = 0
+            while u != 7:
+                u = parent[u]
+                steps += 1
+                assert steps < g.n
+            assert dist[t] == pytest.approx(distance_query(g, t, 7))
+
+
+class TestPathQueries:
+    def test_paths_validate(self):
+        g = grid_city(9, 9, seed=5)
+        for s, t in [(0, 80), (12, 55), (3, 3)]:
+            p = shortest_path_query(g, s, t)
+            p.validate(g)
+            assert p.length == pytest.approx(distance_query(g, s, t))
+
+    def test_bidirectional_path_equals_unidirectional_length(self):
+        g = grid_city(9, 9, seed=5)
+        for s, t in [(0, 80), (12, 55), (44, 2)]:
+            p1 = shortest_path_query(g, s, t)
+            p2 = bidirectional_path(g, s, t)
+            p2.validate(g)
+            assert p1.length == pytest.approx(p2.length)
+
+    def test_same_node_query(self):
+        g = grid_city(5, 5, seed=1)
+        assert distance_query(g, 3, 3) == 0.0
+        assert bidirectional_distance(g, 3, 3) == 0.0
+        p = shortest_path_query(g, 3, 3)
+        assert p.nodes == (3,)
+
+
+class TestMultiSource:
+    def test_multi_source_is_min_over_sources(self):
+        g = grid_city(7, 7, seed=8)
+        seeds = [(0, 0.0), (48, 1.0)]
+        combined = multi_source_distances(g, seeds)
+        d0 = dijkstra_distances(g, 0)
+        d48 = dijkstra_distances(g, 48)
+        for v, d in combined.items():
+            want = min(d0.get(v, INF), d48.get(v, INF) + 1.0)
+            assert d == pytest.approx(want)
+
+    def test_allow_terminal_nodes(self):
+        g = grid_city(7, 7, seed=8)
+        frontier = {0}
+        settled = multi_source_distances(
+            g, [(0, 0.0)], allow=lambda u: u in frontier
+        )
+        # Only node 0 may expand, so we see 0 and its direct neighbours.
+        expected = {0} | {v for v, _ in g.out[0]}
+        assert set(settled) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_bidirectional_equals_unidirectional(seed):
+    """On random geometric graphs both engines agree on random pairs."""
+    g = random_geometric(40, k=3, seed=seed % 100)
+    rng = random.Random(seed)
+    for _ in range(5):
+        s, t = rng.randrange(g.n), rng.randrange(g.n)
+        assert bidirectional_distance(g, s, t) == pytest.approx(
+            distance_query(g, s, t)
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_triangle_inequality(seed):
+    """dist(a,c) <= dist(a,b) + dist(b,c) for settled triples."""
+    g = tiny_random_graph(seed % 50, n=10, p=0.4)
+    truth = brute_force_distances(g)
+    rng = random.Random(seed)
+    for _ in range(10):
+        a, b, c = (rng.randrange(g.n) for _ in range(3))
+        if truth[a][b] < INF and truth[b][c] < INF:
+            assert truth[a][c] <= truth[a][b] + truth[b][c] + 1e-9

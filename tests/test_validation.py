@@ -1,0 +1,84 @@
+"""Tests for the road-network model validation."""
+
+import pytest
+
+from repro.datasets import grid_city, towns_and_highways
+from repro.graph import GraphBuilder, analyze_network, check_road_network
+from repro.graph.validation import strongly_connected
+
+
+def disconnected_graph():
+    b = GraphBuilder()
+    for i in range(4):
+        b.add_node(i, 0)
+    b.add_bidirectional_edge(0, 1, 1.0)
+    b.add_bidirectional_edge(2, 3, 1.0)
+    return b.build()
+
+
+def one_way_ring():
+    b = GraphBuilder()
+    for i in range(4):
+        b.add_node(i, 0)
+    for i in range(4):
+        b.add_edge(i, (i + 1) % 4, 1.0)
+    return b.build()
+
+
+def weakly_connected_only():
+    b = GraphBuilder()
+    b.add_node(0, 0)
+    b.add_node(1, 1)
+    b.add_edge(0, 1, 1.0)
+    return b.build()
+
+
+class TestConnectivity:
+    def test_ring_is_strongly_connected(self):
+        assert strongly_connected(one_way_ring())
+
+    def test_disconnected_detected(self):
+        assert not strongly_connected(disconnected_graph())
+
+    def test_weak_but_not_strong(self):
+        report = analyze_network(weakly_connected_only())
+        assert report.weakly_connected
+        assert not report.strongly_connected
+
+
+class TestAnalyzeNetwork:
+    def test_generated_networks_are_valid(self):
+        for g in (grid_city(8, 8, seed=1), towns_and_highways(3, seed=1)):
+            report = analyze_network(g)
+            assert report.strongly_connected
+            assert report.min_weight > 0
+            assert report.is_valid_road_network()
+
+    def test_report_fields(self):
+        g = one_way_ring()
+        report = analyze_network(g)
+        assert report.n == 4
+        assert report.m == 4
+        assert report.max_out_degree == 1
+        assert report.max_in_degree == 1
+        assert report.max_degree == 2
+        assert report.linf_diameter == 3.0
+
+
+class TestCheckRoadNetwork:
+    def test_valid_network_passes(self):
+        check_road_network(grid_city(6, 6, seed=2))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="strongly connected"):
+            check_road_network(disconnected_graph())
+
+    def test_degree_bound_enforced(self):
+        b = GraphBuilder()
+        hub = b.add_node(0, 0)
+        for i in range(1, 12):
+            b.add_node(i, 0)
+            b.add_bidirectional_edge(hub, i, 1.0)
+        g = b.build()
+        with pytest.raises(ValueError, match="max degree"):
+            check_road_network(g, degree_bound=8)
