@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
-from ..graph.traversal import dijkstra_distances
+from ..graph.traversal import dijkstra_distances, walk_parents
+from ..graph.workspace import acquire, release
 from .base import QueryEngine
 
 __all__ = ["ALTEngine", "select_landmarks_farthest"]
@@ -94,45 +95,53 @@ class ALTEngine(QueryEngine):
                     best = diff
         return best
 
-    def _search(
-        self, source: int, target: int, want_parents: bool
-    ) -> Tuple[float, Dict[int, int]]:
-        dist: Dict[int, float] = {source: 0.0}
-        parent: Dict[int, int] = {}
-        settled: set = set()
-        heap: List[Tuple[float, int]] = [(self._lower_bound(source, target), source)]
-        out = self.graph.out
-        while heap:
-            _, u = heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if u == target:
-                return dist[u], parent
-            du = dist[u]
-            for v, w in out[u]:
-                nd = du + w
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    if want_parents:
+    def _search(self, source: int, target: int) -> Tuple[float, Optional[List[int]]]:
+        """Workspace-backed landmark A*; returns (distance, path nodes)."""
+        graph = self.graph
+        out = graph.out
+        lower_bound = self._lower_bound
+        ws = acquire(graph)
+        try:
+            c = ws.begin()
+            dist = ws.dist
+            visit = ws.visit
+            parent = ws.parent
+            dist[source] = 0.0
+            visit[source] = c
+            parent[source] = -1
+            settled: set = set()
+            heap: List[Tuple[float, int]] = [(lower_bound(source, target), source)]
+            while heap:
+                _, u = heappop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                if u == target:
+                    return dist[u], walk_parents(parent, source, target)
+                du = dist[u]
+                for v, w in out[u]:
+                    nd = du + w
+                    if visit[v] != c:
+                        visit[v] = c
+                        dist[v] = nd
                         parent[v] = u
-                    heappush(heap, (nd + self._lower_bound(v, target), v))
-        return INF, parent
+                        heappush(heap, (nd + lower_bound(v, target), v))
+                    elif nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = u
+                        heappush(heap, (nd + lower_bound(v, target), v))
+            return INF, None
+        finally:
+            release(graph, ws)
 
     def distance(self, source: int, target: int) -> float:
         """Distance with landmark-guided A*."""
-        d, _ = self._search(source, target, want_parents=False)
+        d, _ = self._search(source, target)
         return d
 
     def shortest_path(self, source: int, target: int) -> Optional[Path]:
         """Shortest path with landmark-guided A*."""
-        d, parent = self._search(source, target, want_parents=True)
-        if d == INF:
+        d, nodes = self._search(source, target)
+        if nodes is None:
             return None
-        nodes = [target]
-        u = target
-        while u != source:
-            u = parent[u]
-            nodes.append(u)
-        nodes.reverse()
         return Path(tuple(nodes), d)

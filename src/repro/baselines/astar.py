@@ -14,10 +14,12 @@ reference point between plain Dijkstra and the indexed methods.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.traversal import walk_parents
+from ..graph.workspace import acquire, release
 from ..spatial.geometry import euclidean_distance
 from .base import QueryEngine
 
@@ -57,52 +59,69 @@ class AStarEngine(QueryEngine):
         xs, ys = self.graph.xs, self.graph.ys
         return euclidean_distance((xs[u], ys[u]), (tx, ty)) / self._speed
 
-    def _search(
-        self, source: int, target: int, want_parents: bool
-    ) -> Tuple[float, Dict[int, int]]:
+    def _search(self, source: int, target: int) -> Tuple[float, Optional[List[int]]]:
+        """Workspace-backed A*; returns (distance, path nodes).
+
+        With a consistent heuristic a settled node's g-value is final, so
+        the usual Dijkstra workspace discipline applies: ``visit`` tags
+        label validity, ``parent`` is walked before the workspace goes
+        back to the pool.  Stale heap entries are skipped via the
+        ``settled`` set — the g-based lazy-deletion test the plain
+        Dijkstra loops use does not transfer to A*, whose heap keys are
+        f-values that the workspace does not store.
+        """
         graph = self.graph
         tx, ty = graph.coord(target)
-        dist: Dict[int, float] = {source: 0.0}
-        parent: Dict[int, int] = {}
-        settled: set = set()
-        heap: List[Tuple[float, int]] = [(self._heuristic(source, tx, ty), source)]
         out = graph.out
         xs, ys = graph.xs, graph.ys
         speed = self._speed
-        while heap:
-            _, u = heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if u == target:
-                return dist[u], parent
-            du = dist[u]
-            for v, w in out[u]:
-                nd = du + w
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    if want_parents:
+        euclid = euclidean_distance
+        ws = acquire(graph)
+        try:
+            c = ws.begin()
+            dist = ws.dist
+            visit = ws.visit
+            parent = ws.parent
+            dist[source] = 0.0
+            visit[source] = c
+            parent[source] = -1
+            settled: set = set()
+            heap: List[Tuple[float, int]] = [(self._heuristic(source, tx, ty), source)]
+            while heap:
+                _, u = heappop(heap)
+                if u in settled:
+                    continue
+                settled.add(u)
+                if u == target:
+                    return dist[u], walk_parents(parent, source, target)
+                du = dist[u]
+                for v, w in out[u]:
+                    nd = du + w
+                    if visit[v] != c:
+                        visit[v] = c
+                        dist[v] = nd
                         parent[v] = u
-                    heappush(
-                        heap,
-                        (nd + euclidean_distance((xs[v], ys[v]), (tx, ty)) / speed, v),
-                    )
-        return INF, parent
+                        heappush(
+                            heap, (nd + euclid((xs[v], ys[v]), (tx, ty)) / speed, v)
+                        )
+                    elif nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = u
+                        heappush(
+                            heap, (nd + euclid((xs[v], ys[v]), (tx, ty)) / speed, v)
+                        )
+            return INF, None
+        finally:
+            release(graph, ws)
 
     def distance(self, source: int, target: int) -> float:
         """Distance by goal-directed search; inf when unreachable."""
-        d, _ = self._search(source, target, want_parents=False)
+        d, _ = self._search(source, target)
         return d
 
     def shortest_path(self, source: int, target: int) -> Optional[Path]:
         """Shortest path by goal-directed search with parent pointers."""
-        d, parent = self._search(source, target, want_parents=True)
-        if d == INF:
+        d, nodes = self._search(source, target)
+        if nodes is None:
             return None
-        nodes = [target]
-        u = target
-        while u != source:
-            u = parent[u]
-            nodes.append(u)
-        nodes.reverse()
         return Path(tuple(nodes), d)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.workspace import SearchWorkspace, acquire, release
 from .base import QueryEngine
 
 __all__ = ["CHEngine", "contract_graph", "ContractionResult"]
@@ -80,6 +81,7 @@ def _edge_difference(
     bwd: Dict[int, Dict[int, float]],
     hop_limit: int,
     settle_limit: int,
+    ws: SearchWorkspace,
 ) -> Tuple[int, List[Tuple[int, int, float]]]:
     """Simulate contracting ``u``; return (needed shortcuts, their list)."""
     shortcuts: List[Tuple[int, int, float]] = []
@@ -90,7 +92,7 @@ def _edge_difference(
     for a, w_au in in_nbrs.items():
         max_w = max(w_au + w_ub for w_ub in out_nbrs.values())
         witness = _witness_distances(
-            a, u, fwd, cutoff=max_w, settle_limit=settle_limit, hop_limit=hop_limit
+            a, u, fwd, max_w, settle_limit, hop_limit, ws
         )
         for b, w_ub in out_nbrs.items():
             if b == a:
@@ -108,6 +110,7 @@ def _witness_distances(
     cutoff: float,
     settle_limit: int,
     hop_limit: int,
+    ws: SearchWorkspace,
 ) -> Dict[int, float]:
     """Truncated Dijkstra from ``source`` avoiding ``skip``.
 
@@ -115,29 +118,44 @@ def _witness_distances(
     ``settle_limit`` settled nodes, ``hop_limit`` hops, or ``cutoff``
     distance.  Distances it fails to tighten simply lead to extra (still
     correct) shortcuts.
+
+    Labels live in the shared workspace (``ws.parent`` doubles as the hop
+    counter — witness searches never need parents); only the ≤
+    ``settle_limit`` settled nodes materialise into the returned dict.
     """
-    dist: Dict[int, float] = {source: 0.0}
-    hops: Dict[int, int] = {source: 0}
+    c = ws.begin()
+    dist = ws.dist
+    visit = ws.visit
+    hops = ws.parent
+    dist[source] = 0.0
+    visit[source] = c
+    hops[source] = 0
     settled: Dict[int, float] = {}
     heap: List[Tuple[float, int]] = [(0.0, source)]
     budget = settle_limit
     while heap and budget > 0:
         d, x = heappop(heap)
-        if x in settled:
-            continue
+        if d > dist[x]:
+            continue  # stale entry (pushes are strictly improving)
         if d > cutoff:
             break
         settled[x] = d
         budget -= 1
-        if hops[x] >= hop_limit:
+        hx = hops[x]
+        if hx >= hop_limit:
             continue
         for y, w in fwd[x].items():
             if y == skip:
                 continue
             nd = d + w
-            if nd < dist.get(y, INF):
+            if visit[y] != c:
+                visit[y] = c
                 dist[y] = nd
-                hops[y] = hops[x] + 1
+                hops[y] = hx + 1
+                heappush(heap, (nd, y))
+            elif nd < dist[y]:
+                dist[y] = nd
+                hops[y] = hx + 1
                 heappush(heap, (nd, y))
     return settled
 
@@ -177,63 +195,70 @@ def contract_graph(
     up_in: List[List[Tuple[int, float, Optional[int]]]] = [[] for _ in range(n)]
     deleted_neighbours = [0] * n
     shortcut_count = 0
-
-    if order is None:
-        heap: List[Tuple[float, int]] = []
-        for u in range(n):
-            diff, _ = _edge_difference(u, fwd, bwd, hop_limit, settle_limit)
-            heap.append((float(diff), u))
-        heapify(heap)
-    else:
-        if sorted(order) != list(range(n)):
-            raise ValueError("order must be a permutation of all node ids")
-        heap = []
-
-    explicit = iter(order) if order is not None else None
-    position = 0
-    contracted = bytearray(n)
-    while position < n:
-        if explicit is not None:
-            u = next(explicit)
-            shortcuts = _edge_difference(u, fwd, bwd, hop_limit, settle_limit)[1]
+    # One workspace serves every witness search of the whole contraction.
+    ws = acquire(graph)
+    try:
+        if order is None:
+            heap: List[Tuple[float, int]] = []
+            for u in range(n):
+                diff, _ = _edge_difference(u, fwd, bwd, hop_limit, settle_limit, ws)
+                heap.append((float(diff), u))
+            heapify(heap)
         else:
-            # Lazy pop: re-evaluate the candidate; reinsert unless still best.
-            while True:
-                prio, u = heappop(heap)
-                if contracted[u]:
-                    continue
-                diff, shortcuts = _edge_difference(u, fwd, bwd, hop_limit, settle_limit)
-                new_prio = float(diff + deleted_neighbours[u])
-                if not heap or new_prio <= heap[0][0]:
-                    break
-                heappush(heap, (new_prio, u))
-        rank[u] = position
-        position += 1
-        contracted[u] = 1
-        # Freeze u's current adjacency as its upward edges.
-        for v, w in fwd[u].items():
-            up_out[u].append((v, w, middle.get((u, v))))
-            deleted_neighbours[v] += 1
-        for v, w in bwd[u].items():
-            up_in[u].append((v, w, middle.get((v, u))))
-            deleted_neighbours[v] += 1
-        # Remove u from the dynamic graph.
-        for v in fwd[u]:
-            del bwd[v][u]
-        for v in bwd[u]:
-            del fwd[v][u]
-        in_nbrs = dict(bwd[u])
-        out_nbrs = dict(fwd[u])
-        del fwd[u], bwd[u]
-        # Materialise the surviving shortcuts.
-        for a, b, w in shortcuts:
-            old = fwd[a].get(b)
-            if old is None or w < old:
-                fwd[a][b] = w
-                bwd[b][a] = w
-                middle[(a, b)] = u
-                if old is None:
-                    shortcut_count += 1
+            if sorted(order) != list(range(n)):
+                raise ValueError("order must be a permutation of all node ids")
+            heap = []
+
+        explicit = iter(order) if order is not None else None
+        position = 0
+        contracted = bytearray(n)
+        while position < n:
+            if explicit is not None:
+                u = next(explicit)
+                shortcuts = _edge_difference(
+                    u, fwd, bwd, hop_limit, settle_limit, ws
+                )[1]
+            else:
+                # Lazy pop: re-evaluate the candidate; reinsert unless
+                # still best.
+                while True:
+                    prio, u = heappop(heap)
+                    if contracted[u]:
+                        continue
+                    diff, shortcuts = _edge_difference(
+                        u, fwd, bwd, hop_limit, settle_limit, ws
+                    )
+                    new_prio = float(diff + deleted_neighbours[u])
+                    if not heap or new_prio <= heap[0][0]:
+                        break
+                    heappush(heap, (new_prio, u))
+            rank[u] = position
+            position += 1
+            contracted[u] = 1
+            # Freeze u's current adjacency as its upward edges.
+            for v, w in fwd[u].items():
+                up_out[u].append((v, w, middle.get((u, v))))
+                deleted_neighbours[v] += 1
+            for v, w in bwd[u].items():
+                up_in[u].append((v, w, middle.get((v, u))))
+                deleted_neighbours[v] += 1
+            # Remove u from the dynamic graph.
+            for v in fwd[u]:
+                del bwd[v][u]
+            for v in bwd[u]:
+                del fwd[v][u]
+            del fwd[u], bwd[u]
+            # Materialise the surviving shortcuts.
+            for a, b, w in shortcuts:
+                old = fwd[a].get(b)
+                if old is None or w < old:
+                    fwd[a][b] = w
+                    bwd[b][a] = w
+                    middle[(a, b)] = u
+                    if old is None:
+                        shortcut_count += 1
+    finally:
+        release(graph, ws)
     return ContractionResult(rank, up_out, up_in, middle, shortcut_count)
 
 
@@ -284,21 +309,9 @@ class CHEngine(QueryEngine):
 
     def shortest_path(self, source: int, target: int) -> Optional[Path]:
         """Bidirectional upward search + shortcut unpacking."""
-        d, meet = self._query(source, target, want_parents=True)
-        if meet is None:
+        d, packed = self._query(source, target, want_parents=True)
+        if packed is None:
             return None
-        node, parent_f, parent_b = meet
-        packed_f: List[int] = [node]
-        u = node
-        while u != source:
-            u = parent_f[u]
-            packed_f.append(u)
-        packed_f.reverse()
-        packed = list(packed_f)
-        u = node
-        while u != target:
-            u = parent_b[u]
-            packed.append(u)
         nodes = self._unpack(packed)
         return Path(tuple(nodes), d)
 
@@ -321,79 +334,116 @@ class CHEngine(QueryEngine):
 
     def _query(
         self, source: int, target: int, want_parents: bool
-    ) -> Tuple[float, Optional[Tuple[int, Dict[int, int], Dict[int, int]]]]:
+    ) -> Tuple[float, Optional[List[int]]]:
+        """Bidirectional upward search over the two workspace halves.
+
+        Returns ``(distance, packed path)`` — the packed path is the node
+        sequence through the meeting point, shortcuts not yet expanded —
+        or ``(inf, None)``.  With ``want_parents=False`` the packed path
+        of a reachable pair is ``[]`` (only the distance was tracked).
+        """
         if source == target:
-            return 0.0, (source, {}, {})
+            return 0.0, [source]
         res = self._res
         up_out, up_in = res.up_out, res.up_in
         stall = self.stall_on_demand
-        dist_f: Dict[int, float] = {source: 0.0}
-        dist_b: Dict[int, float] = {target: 0.0}
-        parent_f: Dict[int, int] = {}
-        parent_b: Dict[int, int] = {}
-        settled_f: set = set()
-        settled_b: set = set()
-        heap_f: List[Tuple[float, int]] = [(0.0, source)]
-        heap_b: List[Tuple[float, int]] = [(0.0, target)]
-        best = INF
-        best_node: Optional[int] = None
-        while heap_f or heap_b:
-            top_f = heap_f[0][0] if heap_f else INF
-            top_b = heap_b[0][0] if heap_b else INF
-            if best <= min(top_f, top_b):
-                break
-            if top_f <= top_b:
-                d, u = heappop(heap_f)
-                if u in settled_f:
-                    continue
-                settled_f.add(u)
-                du_b = dist_b.get(u)
-                if du_b is not None and d + du_b < best:
-                    best = d + du_b
-                    best_node = u
-                if stall and self._stalled(u, d, dist_f, up_in):
-                    continue
-                for v, w, _ in up_out[u]:
-                    nd = d + w
-                    if nd < dist_f.get(v, INF):
-                        dist_f[v] = nd
-                        if want_parents:
+        graph = self.graph
+        ws_f = acquire(graph)
+        ws_b = acquire(graph)
+        try:
+            cf = ws_f.begin()
+            cb = ws_b.begin()
+            dist_f = ws_f.dist
+            dist_b = ws_b.dist
+            visit_f = ws_f.visit
+            visit_b = ws_b.visit
+            parent_f = ws_f.parent
+            parent_b = ws_b.parent
+            dist_f[source] = 0.0
+            visit_f[source] = cf
+            dist_b[target] = 0.0
+            visit_b[target] = cb
+            heap_f: List[Tuple[float, int]] = [(0.0, source)]
+            heap_b: List[Tuple[float, int]] = [(0.0, target)]
+            best = INF
+            best_node: Optional[int] = None
+            while heap_f or heap_b:
+                top_f = heap_f[0][0] if heap_f else INF
+                top_b = heap_b[0][0] if heap_b else INF
+                if best <= min(top_f, top_b):
+                    break
+                if top_f <= top_b:
+                    d, u = heappop(heap_f)
+                    if d > dist_f[u]:
+                        continue
+                    if visit_b[u] == cb and d + dist_b[u] < best:
+                        best = d + dist_b[u]
+                        best_node = u
+                    if stall and self._stalled(u, d, dist_f, visit_f, cf, up_in):
+                        continue
+                    for v, w, _ in up_out[u]:
+                        nd = d + w
+                        if visit_f[v] != cf:
+                            visit_f[v] = cf
+                            dist_f[v] = nd
                             parent_f[v] = u
-                        heappush(heap_f, (nd, v))
-            else:
-                d, u = heappop(heap_b)
-                if u in settled_b:
-                    continue
-                settled_b.add(u)
-                du_f = dist_f.get(u)
-                if du_f is not None and d + du_f < best:
-                    best = d + du_f
-                    best_node = u
-                if stall and self._stalled(u, d, dist_b, up_out):
-                    continue
-                for v, w, _ in up_in[u]:
-                    nd = d + w
-                    if nd < dist_b.get(v, INF):
-                        dist_b[v] = nd
-                        if want_parents:
+                            heappush(heap_f, (nd, v))
+                        elif nd < dist_f[v]:
+                            dist_f[v] = nd
+                            parent_f[v] = u
+                            heappush(heap_f, (nd, v))
+                else:
+                    d, u = heappop(heap_b)
+                    if d > dist_b[u]:
+                        continue
+                    if visit_f[u] == cf and d + dist_f[u] < best:
+                        best = d + dist_f[u]
+                        best_node = u
+                    if stall and self._stalled(u, d, dist_b, visit_b, cb, up_out):
+                        continue
+                    for v, w, _ in up_in[u]:
+                        nd = d + w
+                        if visit_b[v] != cb:
+                            visit_b[v] = cb
+                            dist_b[v] = nd
                             parent_b[v] = u
-                        heappush(heap_b, (nd, v))
-        if best_node is None:
-            return INF, None
-        return best, (best_node, parent_f, parent_b)
+                            heappush(heap_b, (nd, v))
+                        elif nd < dist_b[v]:
+                            dist_b[v] = nd
+                            parent_b[v] = u
+                            heappush(heap_b, (nd, v))
+            if best_node is None:
+                return INF, None
+            if not want_parents:
+                return best, []
+            packed: List[int] = [best_node]
+            u = best_node
+            while u != source:
+                u = parent_f[u]
+                packed.append(u)
+            packed.reverse()
+            u = best_node
+            while u != target:
+                u = parent_b[u]
+                packed.append(u)
+            return best, packed
+        finally:
+            release(graph, ws_b)
+            release(graph, ws_f)
 
     @staticmethod
     def _stalled(
         u: int,
         d: float,
-        dist: Dict[int, float],
+        dist: List[float],
+        visit: List[int],
+        c: int,
         reverse_adj: List[List[Tuple[int, float, Optional[int]]]],
     ) -> bool:
         """Stall-on-demand: if a higher-ranked, already-labelled node can
         reach ``u`` more cheaply than ``d``, expanding ``u`` is pointless
         (any shortest path through ``u`` would descend then re-ascend)."""
         for v, w, _ in reverse_adj[u]:
-            dv = dist.get(v)
-            if dv is not None and dv + w < d:
+            if visit[v] == c and dist[v] + w < d:
                 return True
         return False

@@ -26,11 +26,12 @@ Faithfulness notes:
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
-from ..graph.traversal import shortest_path_tree
+from ..graph.workspace import acquire, release
 from ..spatial.geometry import bounding_square
 from .base import QueryEngine
 
@@ -122,25 +123,59 @@ class SILCEngine(QueryEngine):
             for u in graph.nodes()
         ]
         self._trees: List[Optional[_QuadTree]] = []
-        self._weights: Dict[Tuple[int, int], float] = {
-            (u, v): w for u, v, w in graph.edges()
-        }
+        self._weights: Dict[Tuple[int, int], float] = graph._weight_map()
         for u in graph.nodes():
             self._trees.append(self._build_for(u))
 
     def _build_for(self, u: int) -> Optional[_QuadTree]:
-        dist, parent = shortest_path_tree(self.graph, u)
-        # First move of v = second node on the shortest path u -> v;
-        # computed by propagating along the SPT in distance order.
-        order = sorted((d, v) for v, d in dist.items() if v != u)
-        first_move: Dict[int, int] = {}
-        for _, v in order:
-            p = parent[v]
-            first_move[v] = v if p == u else first_move[p]
-        points = [
-            (self._norm[v][0], self._norm[v][1], mv) for v, mv in first_move.items()
-        ]
-        return _build_quadtree(points)
+        """One full Dijkstra from ``u`` propagating first moves inline.
+
+        When a node settles, its final parent is settled already, so its
+        first move is inherited on the spot — no second distance-sorted
+        pass over the tree, and the n-per-node preprocessing loop runs
+        entirely on the shared workspace arrays.  ``first_move`` entries
+        are written at settle time only, which makes them valid exactly
+        for settled nodes.
+        """
+        graph = self.graph
+        adj = graph.out
+        norm = self._norm
+        ws = acquire(graph)
+        try:
+            c = ws.begin()
+            dist = ws.dist
+            visit = ws.visit
+            parent = ws.parent
+            first_move = [0] * graph.n
+            dist[u] = 0.0
+            visit[u] = c
+            parent[u] = -1
+            points: List[Tuple[float, float, int]] = []
+            heap: List[Tuple[float, int]] = [(0.0, u)]
+            while heap:
+                d, x = heappop(heap)
+                if d > dist[x]:
+                    continue
+                if x != u:
+                    p = parent[x]
+                    mv = x if p == u else first_move[p]
+                    first_move[x] = mv
+                    nx, ny = norm[x]
+                    points.append((nx, ny, mv))
+                for y, w in adj[x]:
+                    nd = d + w
+                    if visit[y] != c:
+                        visit[y] = c
+                        dist[y] = nd
+                        parent[y] = x
+                        heappush(heap, (nd, y))
+                    elif nd < dist[y]:
+                        dist[y] = nd
+                        parent[y] = x
+                        heappush(heap, (nd, y))
+            return _build_quadtree(points)
+        finally:
+            release(graph, ws)
 
     # ------------------------------------------------------------------
     # Accounting

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.workspace import acquire, release
 from ..spatial.grid import GridPyramid, NodeGrid
 from .base import QueryEngine
 from .ch import CHEngine
@@ -74,14 +75,19 @@ class TNREngine(QueryEngine):
 
         self._node_grid = NodeGrid(graph, GridPyramid.from_graph(graph))
 
-        # Access nodes: first transit nodes met by upward searches.
+        # Access nodes: first transit nodes met by upward searches.  One
+        # workspace serves the whole 2n-search construction sweep.
         res = self._ch._res
-        self._access_f: List[List[Tuple[int, float]]] = [
-            self._access(u, res.up_out, transit_set) for u in graph.nodes()
-        ]
-        self._access_b: List[List[Tuple[int, float]]] = [
-            self._access(u, res.up_in, transit_set) for u in graph.nodes()
-        ]
+        ws = acquire(graph)
+        try:
+            self._access_f: List[List[Tuple[int, float]]] = [
+                self._access(u, res.up_out, transit_set, ws) for u in graph.nodes()
+            ]
+            self._access_b: List[List[Tuple[int, float]]] = [
+                self._access(u, res.up_in, transit_set, ws) for u in graph.nodes()
+            ]
+        finally:
+            release(graph, ws)
 
         # All-pairs transit table via the (exact) CH engine.
         k = len(self.transit)
@@ -97,27 +103,35 @@ class TNREngine(QueryEngine):
         source: int,
         adjacency: List[List[Tuple[int, float, Optional[int]]]],
         transit_set: set,
+        ws,
     ) -> List[Tuple[int, float]]:
         """Upward search from ``source``; transit nodes are terminals.
 
         Returns the first-met transit nodes with their exact upward
-        distances — Bast et al.'s access nodes, computed the CH way.
+        distances — Bast et al.'s access nodes, computed the CH way on
+        the shared workspace arrays.
         """
-        dist: Dict[int, float] = {source: 0.0}
+        c = ws.begin()
+        dist = ws.dist
+        visit = ws.visit
+        dist[source] = 0.0
+        visit[source] = c
         heap: List[Tuple[float, int]] = [(0.0, source)]
-        settled: set = set()
         access: List[Tuple[int, float]] = []
         while heap:
             d, u = heappop(heap)
-            if u in settled:
+            if d > dist[u]:
                 continue
-            settled.add(u)
             if u in transit_set:
                 access.append((u, d))
                 continue  # do not search past a transit node
             for v, w, _mid in adjacency[u]:
                 nd = d + w
-                if nd < dist.get(v, INF):
+                if visit[v] != c:
+                    visit[v] = c
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+                elif nd < dist[v]:
                     dist[v] = nd
                     heappush(heap, (nd, v))
         return access

@@ -18,7 +18,15 @@ from .lemmas import (
 )
 from .ordering import RankAssignment, compute_ranks, greedy_vertex_cover
 from .perturb import PerturbedGraph, perturb_weights, recommended_tau
-from .serialize import index_bytes, load_index, save_index
+from .serialize import (
+    index_bytes,
+    load_bundle,
+    load_graph,
+    load_index,
+    save_bundle,
+    save_graph,
+    save_index,
+)
 from .sliding_window import SlidingWindowResult, sliding_window
 
 __all__ = [
@@ -42,6 +50,10 @@ __all__ = [
     "save_index",
     "load_index",
     "index_bytes",
+    "save_graph",
+    "load_graph",
+    "save_bundle",
+    "load_bundle",
     "CoveringViolation",
     "DensityReport",
     "check_covering_property",

@@ -43,7 +43,7 @@ Every constraint can be toggled per query engine for ablation.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from heapq import heappop, heappush
 
@@ -51,6 +51,7 @@ from ..baselines.base import QueryEngine
 from ..baselines.ch import contract_graph
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.workspace import acquire, release
 from ..spatial.grid import GridPyramid, NodeGrid
 from .hierarchy import LevelAssignment, assign_levels
 from .ordering import RankAssignment, compute_ranks
@@ -283,37 +284,52 @@ class AHIndex(QueryEngine):
         therefore discarded).
         """
         levels = self.levels
-        dist: Dict[int, float] = {source: 0.0}
-        parent: Dict[int, int] = {}
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        settled: Set[int] = set()
-        terminals: List[Tuple[int, float]] = []
-        while heap:
-            d, u = heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if len(settled) > cap:
-                return None
-            if levels[u] >= j:
-                terminals.append((u, d))
-                continue  # first crossing: do not expand further
-            for v, w, _mid in adjacency[u]:
-                nd = d + w
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    parent[v] = u
-                    heappush(heap, (nd, v))
-        out: List[Tuple[int, float, Tuple[int, ...]]] = []
-        for node, d in terminals:
-            chain = [node]
-            x = node
-            while x != source:
-                x = parent[x]
-                chain.append(x)
-            chain.reverse()  # source .. node, consecutive pairs are edges
-            out.append((node, d, tuple(chain)))
-        return out
+        graph = self.graph
+        ws = acquire(graph)
+        try:
+            c = ws.begin()
+            dist = ws.dist
+            visit = ws.visit
+            parent = ws.parent
+            dist[source] = 0.0
+            visit[source] = c
+            parent[source] = -1
+            heap: List[Tuple[float, int]] = [(0.0, source)]
+            settled = 0
+            terminals: List[Tuple[int, float]] = []
+            while heap:
+                d, u = heappop(heap)
+                if d > dist[u]:
+                    continue
+                settled += 1
+                if settled > cap:
+                    return None
+                if levels[u] >= j:
+                    terminals.append((u, d))
+                    continue  # first crossing: do not expand further
+                for v, w, _mid in adjacency[u]:
+                    nd = d + w
+                    if visit[v] != c:
+                        visit[v] = c
+                        dist[v] = nd
+                        parent[v] = u
+                        heappush(heap, (nd, v))
+                    elif nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = u
+                        heappush(heap, (nd, v))
+            out: List[Tuple[int, float, Tuple[int, ...]]] = []
+            for node, d in terminals:
+                chain = [node]
+                x = node
+                while x != source:
+                    x = parent[x]
+                    chain.append(x)
+                chain.reverse()  # source .. node, consecutive pairs are edges
+                out.append((node, d, tuple(chain)))
+            return out
+        finally:
+            release(graph, ws)
 
     # ------------------------------------------------------------------
     # Queries
@@ -381,12 +397,21 @@ class AHIndex(QueryEngine):
             else 0
         )
 
-        dist_f: Dict[int, float] = {source: 0.0}
-        dist_b: Dict[int, float] = {target: 0.0}
+        graph = self.graph
+        ws_f = acquire(graph)
+        ws_b = acquire(graph)
+        cf = ws_f.begin()
+        cb = ws_b.begin()
+        dist_f = ws_f.dist
+        dist_b = ws_b.dist
+        visit_f = ws_f.visit
+        visit_b = ws_b.visit
         parent_f: Dict[int, _Parent] = {}
         parent_b: Dict[int, _Parent] = {}
-        settled_f: Set[int] = set()
-        settled_b: Set[int] = set()
+        dist_f[source] = 0.0
+        visit_f[source] = cf
+        dist_b[target] = 0.0
+        visit_b[target] = cb
         heap_f: List[Tuple[float, int]] = [(0.0, source)]
         heap_b: List[Tuple[float, int]] = [(0.0, target)]
         best = INF
@@ -421,87 +446,101 @@ class AHIndex(QueryEngine):
                 and -2 <= (fy[v] >> lv) - tgt_cy[lv] <= 2
             )
 
-        while heap_f or heap_b:
-            top_f = heap_f[0][0] if heap_f else INF
-            top_b = heap_b[0][0] if heap_b else INF
-            if best <= min(top_f, top_b):
-                break
-            forward = top_f <= top_b
-            if forward:
-                d, u = heappop(heap_f)
-                if u in settled_f:
-                    continue
-                settled_f.add(u)
-                other = dist_b.get(u)
-                if other is not None and d + other < best:
-                    best = d + other
-                    best_node = u
-                if stall and self._stalled(u, d, dist_f, up_in):
-                    continue
-                jumped = False
-                if j_sep and levels[u] < j_sep:
-                    per_level = self._elev_f.get(u)
-                    if per_level:
-                        jj = max((k for k in per_level if k <= j_sep), default=None)
-                        if jj is not None and jj > levels[u]:
-                            jumped = True
-                            for v, w, chain in per_level[jj]:
-                                nd = d + w
-                                if nd < dist_f.get(v, INF) and (
-                                    not proximity or allowed_f(v)
-                                ):
+        try:
+            while heap_f or heap_b:
+                top_f = heap_f[0][0] if heap_f else INF
+                top_b = heap_b[0][0] if heap_b else INF
+                if best <= min(top_f, top_b):
+                    break
+                forward = top_f <= top_b
+                if forward:
+                    d, u = heappop(heap_f)
+                    if d > dist_f[u]:
+                        continue
+                    if visit_b[u] == cb and d + dist_b[u] < best:
+                        best = d + dist_b[u]
+                        best_node = u
+                    if stall and self._stalled(u, d, dist_f, visit_f, cf, up_in):
+                        continue
+                    jumped = False
+                    if j_sep and levels[u] < j_sep:
+                        per_level = self._elev_f.get(u)
+                        if per_level:
+                            jj = max((k for k in per_level if k <= j_sep), default=None)
+                            if jj is not None and jj > levels[u]:
+                                jumped = True
+                                for v, w, chain in per_level[jj]:
+                                    nd = d + w
+                                    if (
+                                        visit_f[v] != cf or nd < dist_f[v]
+                                    ) and (not proximity or allowed_f(v)):
+                                        visit_f[v] = cf
+                                        dist_f[v] = nd
+                                        if want_parents:
+                                            parent_f[v] = (u, chain)
+                                        heappush(heap_f, (nd, v))
+                    if not jumped:
+                        for v, w, _mid in up_out[u]:
+                            nd = d + w
+                            if visit_f[v] != cf:
+                                if not proximity or allowed_f(v):
+                                    visit_f[v] = cf
                                     dist_f[v] = nd
                                     if want_parents:
-                                        parent_f[v] = (u, chain)
+                                        parent_f[v] = (u, (u, v))
                                     heappush(heap_f, (nd, v))
-                if not jumped:
-                    for v, w, _mid in up_out[u]:
-                        nd = d + w
-                        if nd < dist_f.get(v, INF) and (
-                            not proximity or allowed_f(v)
-                        ):
-                            dist_f[v] = nd
-                            if want_parents:
-                                parent_f[v] = (u, (u, v))
-                            heappush(heap_f, (nd, v))
-            else:
-                d, u = heappop(heap_b)
-                if u in settled_b:
-                    continue
-                settled_b.add(u)
-                other = dist_f.get(u)
-                if other is not None and d + other < best:
-                    best = d + other
-                    best_node = u
-                if stall and self._stalled(u, d, dist_b, up_out):
-                    continue
-                jumped = False
-                if j_sep and levels[u] < j_sep:
-                    per_level = self._elev_b.get(u)
-                    if per_level:
-                        jj = max((k for k in per_level if k <= j_sep), default=None)
-                        if jj is not None and jj > levels[u]:
-                            jumped = True
-                            for v, w, chain in per_level[jj]:
-                                nd = d + w
-                                if nd < dist_b.get(v, INF) and (
-                                    not proximity or allowed_b(v)
-                                ):
+                            elif nd < dist_f[v]:
+                                if not proximity or allowed_f(v):
+                                    dist_f[v] = nd
+                                    if want_parents:
+                                        parent_f[v] = (u, (u, v))
+                                    heappush(heap_f, (nd, v))
+                else:
+                    d, u = heappop(heap_b)
+                    if d > dist_b[u]:
+                        continue
+                    if visit_f[u] == cf and d + dist_f[u] < best:
+                        best = d + dist_f[u]
+                        best_node = u
+                    if stall and self._stalled(u, d, dist_b, visit_b, cb, up_out):
+                        continue
+                    jumped = False
+                    if j_sep and levels[u] < j_sep:
+                        per_level = self._elev_b.get(u)
+                        if per_level:
+                            jj = max((k for k in per_level if k <= j_sep), default=None)
+                            if jj is not None and jj > levels[u]:
+                                jumped = True
+                                for v, w, chain in per_level[jj]:
+                                    nd = d + w
+                                    if (
+                                        visit_b[v] != cb or nd < dist_b[v]
+                                    ) and (not proximity or allowed_b(v)):
+                                        visit_b[v] = cb
+                                        dist_b[v] = nd
+                                        if want_parents:
+                                            # chain runs v .. u in graph order
+                                            parent_b[v] = (u, chain)
+                                        heappush(heap_b, (nd, v))
+                    if not jumped:
+                        for v, w, _mid in up_in[u]:
+                            nd = d + w
+                            if visit_b[v] != cb:
+                                if not proximity or allowed_b(v):
+                                    visit_b[v] = cb
                                     dist_b[v] = nd
                                     if want_parents:
-                                        # chain runs v .. u in graph order
-                                        parent_b[v] = (u, chain)
+                                        parent_b[v] = (u, (v, u))
                                     heappush(heap_b, (nd, v))
-                if not jumped:
-                    for v, w, _mid in up_in[u]:
-                        nd = d + w
-                        if nd < dist_b.get(v, INF) and (
-                            not proximity or allowed_b(v)
-                        ):
-                            dist_b[v] = nd
-                            if want_parents:
-                                parent_b[v] = (u, (v, u))
-                            heappush(heap_b, (nd, v))
+                            elif nd < dist_b[v]:
+                                if not proximity or allowed_b(v):
+                                    dist_b[v] = nd
+                                    if want_parents:
+                                        parent_b[v] = (u, (v, u))
+                                    heappush(heap_b, (nd, v))
+        finally:
+            release(graph, ws_b)
+            release(graph, ws_f)
         if best_node is None:
             return INF, None
         return best, (best_node, parent_f, parent_b)
@@ -510,11 +549,12 @@ class AHIndex(QueryEngine):
     def _stalled(
         u: int,
         d: float,
-        dist: Dict[int, float],
+        dist: List[float],
+        visit: List[int],
+        c: int,
         reverse_adj: List[List[Tuple[int, float, Optional[int]]]],
     ) -> bool:
         for v, w, _ in reverse_adj[u]:
-            dv = dist.get(v)
-            if dv is not None and dv + w < d:
+            if visit[v] == c and dist[v] + w < d:
                 return True
         return False

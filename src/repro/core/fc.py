@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import time
 from heapq import heappop, heappush
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..baselines.base import QueryEngine
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.workspace import acquire, release
 from ..spatial.grid import GridPyramid, NodeGrid
 from .hierarchy import LevelAssignment, exact_levels
 
@@ -118,52 +119,75 @@ class FCIndex(QueryEngine):
 
     def _build_shortcuts(self) -> None:
         """Add a shortcut for every pair whose shortest path stays below
-        both endpoints' levels (tracking interiors tie-robustly)."""
+        both endpoints' levels (tracking interiors tie-robustly).
+
+        The per-source Dijkstras share one workspace (``ws.parent`` holds
+        the parent pointers); ``maxlev`` needs a second integer column and
+        a tie-update rule the versioned arrays do not model, so it stays a
+        per-source dict — it only holds the searched ball, not n entries.
+        """
         graph = self.graph
         levels = self.levels
-        for u in graph.nodes():
-            lu = levels[u]
-            if lu == 0:
-                continue  # interiors must have level < 0: impossible
-            # Dijkstra from u expanding only through nodes below lu.
-            # maxlev[v] = smallest achievable "highest interior level" over
-            # all tied shortest u->v paths (min over optimal predecessors).
-            dist: Dict[int, float] = {u: 0.0}
-            maxlev: Dict[int, int] = {u: -1}
-            parent: Dict[int, int] = {}
-            settled: Set[int] = set()
-            heap: List[Tuple[float, int]] = [(0.0, u)]
-            while heap:
-                d, x = heappop(heap)
-                if x in settled:
-                    continue
-                settled.add(x)
-                if x != u and levels[x] >= lu:
-                    continue  # terminal: may end a shortcut, not extend one
-                interior = maxlev[x] if x == u else max(maxlev[x], levels[x])
-                for y, w in graph.out[x]:
-                    nd = d + w
-                    dy = dist.get(y, INF)
-                    if nd < dy:
-                        dist[y] = nd
-                        maxlev[y] = interior
-                        parent[y] = x
-                        heappush(heap, (nd, y))
-                    elif nd == dy and interior < maxlev.get(y, 1 << 30):
-                        maxlev[y] = interior
-                        parent[y] = x
-            for v in settled:
-                if v == u:
-                    continue
-                lv = levels[v]
-                # A multi-hop shortest path may undercut a direct edge;
-                # _add_hierarchy_edge keeps the cheaper of the two.
-                if maxlev[v] < min(lu, lv) and parent.get(v) != u:
-                    chain = self._walk(parent, u, v)
-                    self._add_hierarchy_edge(u, v, dist[v], chain)
+        adj = graph.out
+        ws = acquire(graph)
+        try:
+            dist = ws.dist
+            visit = ws.visit
+            parent = ws.parent
+            for u in graph.nodes():
+                lu = levels[u]
+                if lu == 0:
+                    continue  # interiors must have level < 0: impossible
+                # Dijkstra from u expanding only through nodes below lu.
+                # maxlev[v] = smallest achievable "highest interior level"
+                # over all tied shortest u->v paths (min over optimal
+                # predecessors).
+                c = ws.begin()
+                dist[u] = 0.0
+                visit[u] = c
+                parent[u] = -1
+                maxlev: Dict[int, int] = {u: -1}
+                settled: List[int] = []
+                heap: List[Tuple[float, int]] = [(0.0, u)]
+                while heap:
+                    d, x = heappop(heap)
+                    if d > dist[x]:
+                        continue
+                    settled.append(x)
+                    if x != u and levels[x] >= lu:
+                        continue  # terminal: may end a shortcut, not extend
+                    interior = maxlev[x] if x == u else max(maxlev[x], levels[x])
+                    for y, w in adj[x]:
+                        nd = d + w
+                        if visit[y] != c:
+                            visit[y] = c
+                            dist[y] = nd
+                            maxlev[y] = interior
+                            parent[y] = x
+                            heappush(heap, (nd, y))
+                        elif nd < dist[y]:
+                            dist[y] = nd
+                            maxlev[y] = interior
+                            parent[y] = x
+                            heappush(heap, (nd, y))
+                        elif nd == dist[y] and interior < maxlev[y]:
+                            maxlev[y] = interior
+                            parent[y] = x
+                for v in settled:
+                    if v == u:
+                        continue
+                    lv = levels[v]
+                    # A multi-hop shortest path may undercut a direct edge;
+                    # _add_hierarchy_edge keeps the cheaper of the two.
+                    if maxlev[v] < min(lu, lv) and parent[v] != u:
+                        chain = self._walk(parent, u, v)
+                        self._add_hierarchy_edge(u, v, dist[v], chain)
+        finally:
+            release(graph, ws)
 
     @staticmethod
-    def _walk(parent: Dict[int, int], source: int, target: int) -> Tuple[int, ...]:
+    def _walk(parent: List[int], source: int, target: int) -> Tuple[int, ...]:
+        """Reconstruct ``source -> target`` from workspace parent pointers."""
         nodes = [target]
         x = target
         while x != source:
@@ -201,17 +225,11 @@ class FCIndex(QueryEngine):
         d, meet = self._query(source, target, want_parents=True)
         if meet is None:
             return None
-        node, parent_f, parent_b = meet
+        node, chain_f, chain_b = meet
         packed: List[int] = [node]
-        x = node
-        while x != source:
-            x = parent_f[x]
-            packed.append(x)
+        packed.extend(chain_f)
         packed.reverse()
-        x = node
-        while x != target:
-            x = parent_b[x]
-            packed.append(x)
+        packed.extend(chain_b)
         nodes: List[int] = [packed[0]]
         for a, b in zip(packed, packed[1:]):
             chain = self._chains.get((a, b))
@@ -223,9 +241,15 @@ class FCIndex(QueryEngine):
 
     def _query(
         self, source: int, target: int, want_parents: bool
-    ) -> Tuple[float, Optional[Tuple[int, Dict[int, int], Dict[int, int]]]]:
+    ) -> Tuple[float, Optional[Tuple[int, List[int], List[int]]]]:
+        """Alternating constrained search.
+
+        Returns ``(distance, (meeting node, chain to source, chain to
+        target))`` with both chains excluding the meeting node, or
+        ``(inf, None)`` when unreachable.
+        """
         if source == target:
-            return 0.0, (source, {}, {})
+            return 0.0, (source, [], [])
         levels = self.levels
         h = self.h
         proximity = self.proximity
@@ -237,64 +261,95 @@ class FCIndex(QueryEngine):
                 return True
             return cheb(lv + 1, anchor, v) <= 2
 
-        dist_f: Dict[int, float] = {source: 0.0}
-        dist_b: Dict[int, float] = {target: 0.0}
-        parent_f: Dict[int, int] = {}
-        parent_b: Dict[int, int] = {}
-        settled_f: Set[int] = set()
-        settled_b: Set[int] = set()
-        heap_f: List[Tuple[float, int]] = [(0.0, source)]
-        heap_b: List[Tuple[float, int]] = [(0.0, target)]
-        best = INF
-        best_node: Optional[int] = None
-        out, inn = self._out, self._inn
-        while heap_f or heap_b:
-            top_f = heap_f[0][0] if heap_f else INF
-            top_b = heap_b[0][0] if heap_b else INF
-            if best <= min(top_f, top_b):
-                break
-            if top_f <= top_b:
-                d, u = heappop(heap_f)
-                if u in settled_f:
-                    continue
-                settled_f.add(u)
-                other = dist_b.get(u)
-                if other is not None and d + other < best:
-                    best = d + other
-                    best_node = u
-                lu = levels[u]
-                for v, w in out[u]:
-                    if levels[v] < lu:
-                        continue  # level constraint
-                    if proximity and not allowed(source, v):
+        graph = self.graph
+        ws_f = acquire(graph)
+        ws_b = acquire(graph)
+        try:
+            cf = ws_f.begin()
+            cb = ws_b.begin()
+            dist_f = ws_f.dist
+            dist_b = ws_b.dist
+            visit_f = ws_f.visit
+            visit_b = ws_b.visit
+            parent_f = ws_f.parent
+            parent_b = ws_b.parent
+            dist_f[source] = 0.0
+            visit_f[source] = cf
+            dist_b[target] = 0.0
+            visit_b[target] = cb
+            heap_f: List[Tuple[float, int]] = [(0.0, source)]
+            heap_b: List[Tuple[float, int]] = [(0.0, target)]
+            best = INF
+            best_node: Optional[int] = None
+            out, inn = self._out, self._inn
+            while heap_f or heap_b:
+                top_f = heap_f[0][0] if heap_f else INF
+                top_b = heap_b[0][0] if heap_b else INF
+                if best <= min(top_f, top_b):
+                    break
+                if top_f <= top_b:
+                    d, u = heappop(heap_f)
+                    if d > dist_f[u]:
                         continue
-                    nd = d + w
-                    if nd < dist_f.get(v, INF):
-                        dist_f[v] = nd
-                        if want_parents:
+                    if visit_b[u] == cb and d + dist_b[u] < best:
+                        best = d + dist_b[u]
+                        best_node = u
+                    lu = levels[u]
+                    for v, w in out[u]:
+                        if levels[v] < lu:
+                            continue  # level constraint
+                        if proximity and not allowed(source, v):
+                            continue
+                        nd = d + w
+                        if visit_f[v] != cf:
+                            visit_f[v] = cf
+                            dist_f[v] = nd
                             parent_f[v] = u
-                        heappush(heap_f, (nd, v))
-            else:
-                d, u = heappop(heap_b)
-                if u in settled_b:
-                    continue
-                settled_b.add(u)
-                other = dist_f.get(u)
-                if other is not None and d + other < best:
-                    best = d + other
-                    best_node = u
-                lu = levels[u]
-                for v, w in inn[u]:
-                    if levels[v] < lu:
+                            heappush(heap_f, (nd, v))
+                        elif nd < dist_f[v]:
+                            dist_f[v] = nd
+                            parent_f[v] = u
+                            heappush(heap_f, (nd, v))
+                else:
+                    d, u = heappop(heap_b)
+                    if d > dist_b[u]:
                         continue
-                    if proximity and not allowed(target, v):
-                        continue
-                    nd = d + w
-                    if nd < dist_b.get(v, INF):
-                        dist_b[v] = nd
-                        if want_parents:
+                    if visit_f[u] == cf and d + dist_f[u] < best:
+                        best = d + dist_f[u]
+                        best_node = u
+                    lu = levels[u]
+                    for v, w in inn[u]:
+                        if levels[v] < lu:
+                            continue
+                        if proximity and not allowed(target, v):
+                            continue
+                        nd = d + w
+                        if visit_b[v] != cb:
+                            visit_b[v] = cb
+                            dist_b[v] = nd
                             parent_b[v] = u
-                        heappush(heap_b, (nd, v))
-        if best_node is None:
-            return INF, None
-        return best, (best_node, parent_f, parent_b)
+                            heappush(heap_b, (nd, v))
+                        elif nd < dist_b[v]:
+                            dist_b[v] = nd
+                            parent_b[v] = u
+                            heappush(heap_b, (nd, v))
+            if best_node is None:
+                return INF, None
+            if not want_parents:
+                return best, (best_node, [], [])
+            # Materialise the two parent chains before the workspaces go
+            # back to the pool.
+            packed_f: List[int] = []
+            x = best_node
+            while x != source:
+                x = parent_f[x]
+                packed_f.append(x)
+            packed_b: List[int] = []
+            x = best_node
+            while x != target:
+                x = parent_b[x]
+                packed_b.append(x)
+            return best, (best_node, packed_f, packed_b)
+        finally:
+            release(graph, ws_b)
+            release(graph, ws_f)

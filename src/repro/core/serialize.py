@@ -1,4 +1,4 @@
-"""Compact binary serialization of AH indexes.
+"""Compact binary serialization of graphs and AH indexes.
 
 The paper's §7 names the index's memory footprint as future work ("as is
 the case for mobile devices").  This module provides a dependency-free
@@ -8,7 +8,7 @@ pyramid — using ``array``-packed primitives rather than pickle, so the
 on-disk footprint is close to the information-theoretic content and the
 file is loadable without trusting arbitrary code execution.
 
-Format (little-endian)::
+Index format (little-endian)::
 
     magic  b"AHIDX1\\n"
     header: n, h, flags, then pyramid origin_x/origin_y/side as doubles
@@ -20,6 +20,21 @@ Format (little-endian)::
 Elevating tables are *not* serialized (they are an optional query
 accelerator, cheaply rebuilt); a loaded index answers every query the
 saved one did, with ``elevating`` off.
+
+Since the graph substrate is CSR (flat parallel arrays), graphs now
+serialize as straight ``array.tofile`` dumps of those columns — *both*
+directions, so :func:`load_graph` hands the arrays to
+:meth:`Graph.from_csr` verbatim and loading skips re-deriving the reverse
+adjacency::
+
+    magic  b"GCSR1\\n"
+    header: n, m (int64)
+    xs[n], ys[n]                     (float64)
+    out_head[n+1] (int64), out_dst[m] (int64), out_w[m] (float64)
+    in_head[n+1]  (int64), in_src[m] (int64), in_w[m]  (float64)
+
+:func:`save_bundle` / :func:`load_bundle` concatenate the two formats so
+one file round-trips a deployable (graph, index) pair.
 """
 
 from __future__ import annotations
@@ -33,9 +48,18 @@ from ..graph.graph import Graph
 from ..spatial.grid import GridPyramid, NodeGrid
 from .ah import AHIndex
 
-__all__ = ["save_index", "load_index", "index_bytes"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "index_bytes",
+    "save_graph",
+    "load_graph",
+    "save_bundle",
+    "load_bundle",
+]
 
 _MAGIC = b"AHIDX1\n"
+_GRAPH_MAGIC = b"GCSR1\n"
 
 _FLAG_PROXIMITY = 1
 _FLAG_STALL = 2
@@ -187,3 +211,102 @@ def index_bytes(index: AHIndex) -> int:
     buf = io.BytesIO()
     save_index(index, buf)
     return buf.tell()
+
+
+# ----------------------------------------------------------------------
+# Graph CSR serialization
+# ----------------------------------------------------------------------
+def save_graph(graph: Graph, sink: Union[str, BinaryIO]) -> None:
+    """Write ``graph``'s CSR columns (both directions) to ``sink``.
+
+    Every column is a single contiguous ``array.tofile`` block — no
+    per-edge Python objects touch the disk path.
+    """
+    own = isinstance(sink, str)
+    fh: BinaryIO = open(sink, "wb") if own else sink  # type: ignore[assignment]
+    try:
+        fh.write(_GRAPH_MAGIC)
+        fh.write(struct.pack("<qq", graph.n, graph.m))
+        array("d", graph.xs).tofile(fh)
+        array("d", graph.ys).tofile(fh)
+        graph.out_head.tofile(fh)
+        graph.out_dst.tofile(fh)
+        graph.out_w.tofile(fh)
+        graph.in_head.tofile(fh)
+        graph.in_src.tofile(fh)
+        graph.in_w.tofile(fh)
+    finally:
+        if own:
+            fh.close()
+
+
+def load_graph(source: Union[str, BinaryIO]) -> Graph:
+    """Reconstruct a :class:`Graph` from :func:`save_graph` output.
+
+    Both CSR triples come straight off the file, so the load path never
+    re-derives the reverse adjacency (and never allocates per-edge
+    tuples): it is ``fromfile`` into six flat arrays plus the coordinate
+    columns.
+    """
+    own = isinstance(source, str)
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        magic = fh.read(len(_GRAPH_MAGIC))
+        if magic != _GRAPH_MAGIC:
+            raise ValueError("not a CSR graph file (bad magic)")
+        n, m = struct.unpack("<qq", fh.read(16))
+        xs = array("d")
+        xs.fromfile(fh, n)
+        ys = array("d")
+        ys.fromfile(fh, n)
+        out_head = array("q")
+        out_head.fromfile(fh, n + 1)
+        out_dst = array("q")
+        out_dst.fromfile(fh, m)
+        out_w = array("d")
+        out_w.fromfile(fh, m)
+        in_head = array("q")
+        in_head.fromfile(fh, n + 1)
+        in_src = array("q")
+        in_src.fromfile(fh, m)
+        in_w = array("d")
+        in_w.fromfile(fh, m)
+    finally:
+        if own:
+            fh.close()
+    return Graph.from_csr(
+        xs, ys, out_head, out_dst, out_w, in_head, in_src, in_w
+    )
+
+
+# ----------------------------------------------------------------------
+# Bundles: one file holding the graph and its index
+# ----------------------------------------------------------------------
+def save_bundle(index: AHIndex, sink: Union[str, BinaryIO]) -> None:
+    """Write ``index``'s graph followed by the index itself.
+
+    The result is self-contained: :func:`load_bundle` needs no
+    separately-loaded network, which is the deployment story the paper's
+    §7 memory-footprint discussion asks for.
+    """
+    own = isinstance(sink, str)
+    fh: BinaryIO = open(sink, "wb") if own else sink  # type: ignore[assignment]
+    try:
+        save_graph(index.graph, fh)
+        save_index(index, fh)
+    finally:
+        if own:
+            fh.close()
+
+
+def load_bundle(source: Union[str, BinaryIO]) -> Tuple[Graph, AHIndex]:
+    """Load a ``(graph, index)`` pair written by :func:`save_bundle`."""
+    own = isinstance(source, str)
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        graph = load_graph(fh)
+        index = load_index(fh, graph)
+    finally:
+        if own:
+            fh.close()
+    return graph, index

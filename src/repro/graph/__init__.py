@@ -15,10 +15,12 @@ from .traversal import (
     shortest_path_tree,
 )
 from .validation import NetworkReport, analyze_network, check_road_network
+from .workspace import SearchWorkspace
 
 __all__ = [
     "Graph",
     "GraphBuilder",
+    "SearchWorkspace",
     "Path",
     "path_length",
     "validate_path",

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List
 
 from .graph import Graph
 
@@ -43,14 +42,18 @@ class NetworkReport:
 
 
 def _reachable_count(graph: Graph, start: int, reverse: bool) -> int:
-    adj = graph.inn if reverse else graph.out
+    # Weights are irrelevant to reachability, so sweep the CSR id columns
+    # directly instead of materialising the (v, w) adjacency views.
+    head = graph.in_head if reverse else graph.out_head
+    nbr = graph.in_src if reverse else graph.out_dst
     seen = bytearray(graph.n)
     seen[start] = 1
     queue = deque((start,))
     count = 1
     while queue:
         u = queue.popleft()
-        for v, _ in adj[u]:
+        for e in range(head[u], head[u + 1]):
+            v = nbr[e]
             if not seen[v]:
                 seen[v] = 1
                 count += 1
@@ -71,18 +74,22 @@ def strongly_connected(graph: Graph) -> bool:
 def _weakly_connected(graph: Graph) -> bool:
     if graph.n == 0:
         return False
+    out_head, out_dst = graph.out_head, graph.out_dst
+    in_head, in_src = graph.in_head, graph.in_src
     seen = bytearray(graph.n)
     seen[0] = 1
     queue = deque((0,))
     count = 1
     while queue:
         u = queue.popleft()
-        for v, _ in graph.out[u]:
+        for e in range(out_head[u], out_head[u + 1]):
+            v = out_dst[e]
             if not seen[v]:
                 seen[v] = 1
                 count += 1
                 queue.append(v)
-        for v, _ in graph.inn[u]:
+        for e in range(in_head[u], in_head[u + 1]):
+            v = in_src[e]
             if not seen[v]:
                 seen[v] = 1
                 count += 1
@@ -92,7 +99,7 @@ def _weakly_connected(graph: Graph) -> bool:
 
 def analyze_network(graph: Graph) -> NetworkReport:
     """Compute a :class:`NetworkReport` for ``graph``."""
-    weights: List[float] = [w for _, _, w in graph.edges()]
+    weights = graph.out_w  # the flat CSR weight column, min/max in C
     return NetworkReport(
         n=graph.n,
         m=graph.m,
