@@ -1,0 +1,202 @@
+"""Perf guard for the hub-label oracle (PR 2).
+
+Times ``HubLabelIndex.distance`` against ``CHEngine.distance`` on the
+``NH`` suite dataset — both engines share one contraction hierarchy, so
+the comparison isolates *query scheme* (label merge-join vs
+bidirectional upward search) — and times the batched
+``distance_table`` fast path against the base-class Dijkstra fallback
+on a 100x100 matrix.  Results go to ``BENCH_hl.json`` at the repo root
+so future PRs can track the trajectory.
+
+Methodology
+-----------
+* Queries follow the paper's Figure-8 methodology: one batch per
+  distance bucket (on NH the non-empty buckets are exactly Q2..Q10).
+  CH query time grows with distance (bigger upward search spaces);
+  HL's merge-join cost is bounded by label size, so the win widens
+  toward Q10 — the recorded per-bucket ratios document that shape.
+* Exactness is asserted against plain Dijkstra before any clock starts;
+  a fast wrong oracle is worthless.
+* ``--check`` runs the build + exactness phase only and writes a
+  timing-free JSON — what CI runs, immune to noisy-runner flake, while
+  still proving the index builds and answers correctly.
+
+Run directly (``python benchmarks/test_hl_speed.py``) to refresh
+``BENCH_hl.json``; under pytest the same measurement doubles as a
+regression guard with deliberately conservative thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.baselines import CHEngine, HubLabelIndex, QueryEngine
+from repro.datasets import dataset, generate_workloads
+from repro.graph.traversal import distance_query
+
+INF = float("inf")
+DATASET = "NH"
+REPEATS = 7
+TABLE_SIDE = 100
+
+
+def _mean_us(fn, pairs, repeats=REPEATS, min_sample_s=0.005):
+    """Best-of-``repeats`` mean latency, with each timed sample stretched
+    to at least ``min_sample_s`` by cycling the batch (2 µs queries over
+    a 25-pair bucket are otherwise pure scheduler noise)."""
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        fn(s, t)
+    once = time.perf_counter() - t0
+    inner = 1 if once >= min_sample_s else int(min_sample_s / max(once, 1e-9)) + 1
+    best = INF
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            for s, t in pairs:
+                fn(s, t)
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best / len(pairs) * 1e6
+
+
+def build_and_verify():
+    """Build CH + HL on one shared hierarchy; assert HL answers exactly."""
+    graph = dataset(DATASET)
+    workloads = generate_workloads(graph, queries_per_bucket=25, seed=17)
+
+    t0 = time.perf_counter()
+    ch = CHEngine(graph)
+    ch_build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    hl = HubLabelIndex(graph, contraction=ch._res)
+    hl_label_s = time.perf_counter() - t0
+
+    checked = 0
+    for b in workloads.non_empty_buckets():
+        for s, t in list(workloads.bucket(b))[:10]:
+            want = distance_query(graph, s, t)
+            got = hl.distance(s, t)
+            assert abs(got - want) <= 1e-9 * max(1.0, want), (s, t, got, want)
+            checked += 1
+    return graph, workloads, ch, hl, {
+        "dataset": DATASET,
+        "n": graph.n,
+        "m": graph.m,
+        "ch_build_s": round(ch_build_s, 3),
+        "hl_label_s": round(hl_label_s, 3),
+        "avg_label_entries": round(hl.average_label_size(), 2),
+        "index_size": hl.index_size(),
+        "exactness_checked_pairs": checked,
+    }
+
+
+def run_benchmark():
+    graph, workloads, ch, hl, result = build_and_verify()
+
+    buckets = {}
+    for b in workloads.non_empty_buckets():
+        pairs = list(workloads.bucket(b))
+        # Interleave the two engines per bucket so drift hits both.
+        ch_us = _mean_us(ch.distance, pairs)
+        hl_us = _mean_us(hl.distance, pairs)
+        buckets[f"Q{b}"] = {
+            "queries": len(pairs),
+            "ch_us": round(ch_us, 3),
+            "hl_us": round(hl_us, 3),
+            "speedup": round(ch_us / hl_us, 3),
+        }
+
+    # Batched surface: 100x100 table, HL fast path vs base fallback
+    # (one truncated Dijkstra per source).
+    rng = random.Random(23)
+    sources = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    targets = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    t0 = time.perf_counter()
+    fast = hl.distance_table(sources, targets)
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fallback = QueryEngine.distance_table(hl, sources, targets)
+    fallback_s = time.perf_counter() - t0
+    for fast_row, fallback_row in zip(fast, fallback):
+        for a, b in zip(fast_row, fallback_row):
+            if a == b:
+                continue  # also covers inf == inf
+            assert abs(a - b) <= 1e-9 * max(1.0, b), (a, b)
+
+    speedups = [rec["speedup"] for rec in buckets.values()]
+    result.update(
+        {
+            "method": "shared contraction hierarchy; per-bucket interleaved "
+            "A/B; best-of-%d batch means" % REPEATS,
+            "headline": {
+                "min_bucket_speedup_vs_ch": min(speedups),
+                "max_bucket_speedup_vs_ch": max(speedups),
+                "table_100x100_speedup_vs_fallback": round(fallback_s / fast_s, 3),
+                "note": "CH query cost grows with distance (bigger upward "
+                "search spaces); HL merge-join cost is bounded by label "
+                "size, so the ratio widens toward Q10",
+            },
+            "distance_query": buckets,
+            "distance_table": {
+                "shape": f"{TABLE_SIDE}x{TABLE_SIDE}",
+                "hl_fast_path_s": round(fast_s, 4),
+                "dijkstra_fallback_s": round(fallback_s, 4),
+                "speedup": round(fallback_s / fast_s, 3),
+            },
+        }
+    )
+    return result
+
+
+def run_check():
+    """CI mode: build + exactness only — no timing, no flake."""
+    _, _, _, hl, result = build_and_verify()
+    result["mode"] = "check (build + exactness only; timings omitted)"
+    return result
+
+
+def write_json(result, path=None):
+    if path is None:
+        # Check-mode output goes to its own (untracked) file so that
+        # reproducing CI locally never clobbers the committed timing
+        # record in BENCH_hl.json.
+        name = "BENCH_hl.check.json" if "mode" in result else "BENCH_hl.json"
+        path = Path(__file__).resolve().parent.parent / name
+    Path(path).write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Pytest guard
+# ----------------------------------------------------------------------
+def test_hl_speed():
+    """HL must beat CH in every distance bucket and the batched fast
+    path must beat the Dijkstra fallback — conservative margins, since
+    CI machines are noisy; the recorded JSON carries the real numbers."""
+    result = run_benchmark()
+    for name, rec in result["distance_query"].items():
+        assert rec["speedup"] > 1.0, f"{name}: {rec}"
+    # Long-range buckets are HL's home turf; demand a decisive win.
+    long_range = [
+        rec["speedup"]
+        for name, rec in result["distance_query"].items()
+        if name in ("Q8", "Q9", "Q10")
+    ]
+    assert long_range and max(long_range) >= 3.0, long_range
+    assert result["distance_table"]["speedup"] > 1.0, result["distance_table"]
+    # The committed BENCH_hl.json is refreshed explicitly (run this file
+    # directly on a quiet machine); CI gates, it does not overwrite.
+
+
+if __name__ == "__main__":
+    if "--check" in sys.argv[1:]:
+        res = run_check()
+    else:
+        res = run_benchmark()
+    out = write_json(res)
+    print(json.dumps(res, indent=2))
+    print(f"\nwrote {out}")

@@ -1,10 +1,11 @@
-"""Baseline engines: Dijkstra, bidirectional, A*, ALT, CH and SILC."""
+"""Baseline engines: Dijkstra, bidirectional, A*, ALT, CH, SILC and HL."""
 
 from .alt import ALTEngine, select_landmarks_farthest
 from .astar import AStarEngine, max_speed
 from .base import QueryEngine
 from .ch import CHEngine, ContractionResult, contract_graph
 from .dijkstra import BidirectionalEngine, DijkstraEngine
+from .hl import HubLabelIndex
 from .silc import SILCEngine
 from .tnr import TNREngine
 
@@ -19,6 +20,7 @@ __all__ = [
     "CHEngine",
     "ContractionResult",
     "contract_graph",
+    "HubLabelIndex",
     "SILCEngine",
     "TNREngine",
 ]

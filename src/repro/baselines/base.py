@@ -1,20 +1,33 @@
 """Common interface implemented by every query engine in this package.
 
-The benchmark harness treats FC, AH, CH, SILC, ALT, A* and plain
+The benchmark harness treats HL, FC, AH, CH, SILC, ALT, A* and plain
 Dijkstra uniformly: each is a :class:`QueryEngine` with ``distance`` and
 ``shortest_path`` methods plus size/preprocessing accounting, which is
 what Figures 8-10 sweep over.
+
+On top of the point-to-point contract every engine also exposes a
+*batched* query surface — :meth:`QueryEngine.one_to_many` and
+:meth:`QueryEngine.distance_table` — which is what serving workloads
+(k-nearest-restaurant, travel-time matrices for dispatch/ETA) actually
+issue.  The base class answers a batch with one truncated Dijkstra per
+source, which already beats a loop of point-to-point queries because the
+search from ``source`` is shared by all its targets; engines with a
+stronger primitive override it (hub labels scan the source label once
+per batch, see :mod:`repro.baselines.hl`).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence
 
 from ..graph.graph import Graph
 from ..graph.path import Path
+from ..graph.traversal import dijkstra_distances
 
 __all__ = ["QueryEngine"]
+
+INF = float("inf")
 
 
 class QueryEngine(abc.ABC):
@@ -43,6 +56,44 @@ class QueryEngine(abc.ABC):
     @abc.abstractmethod
     def shortest_path(self, source: int, target: int) -> Optional[Path]:
         """A shortest path from ``source`` to ``target``; None if none."""
+
+    # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    def one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
+        """Distances from ``source`` to each target, aligned with ``targets``.
+
+        The default runs a single Dijkstra from ``source`` that stops as
+        soon as every target is settled — one search shared by the whole
+        batch, which beats a loop of *search-based* point queries
+        (Dijkstra, A*) outright and a loop of indexed point queries once
+        the batch is large enough to amortise the sweep; an indexed
+        engine with very cheap point queries may still prefer looping
+        ``distance`` for small, far-flung batches, and engines with a
+        true batch primitive override this (HL scans the source label
+        once, see :mod:`repro.baselines.hl`).  Unreachable targets
+        report ``inf``.  Results are exact for every engine because
+        distances do not depend on the index.
+        """
+        targets = list(targets)
+        if not targets:
+            return []
+        settled = dijkstra_distances(self.graph, source, targets=targets)
+        return [settled.get(t, INF) for t in targets]
+
+    def distance_table(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> List[List[float]]:
+        """Full ``len(sources) x len(targets)`` distance matrix.
+
+        ``table[i][j]`` is the network distance from ``sources[i]`` to
+        ``targets[j]``.  The default is one :meth:`one_to_many` batch per
+        source; engines whose index factorises per-source work further
+        (hub labels build the source's hub map once) inherit the shape
+        and override :meth:`one_to_many` only.
+        """
+        targets = list(targets)
+        return [self.one_to_many(s, targets) for s in sources]
 
     # ------------------------------------------------------------------
     # Accounting (Figure 10)

@@ -32,9 +32,31 @@ from ..graph.path import Path
 from ..graph.workspace import SearchWorkspace, acquire, release
 from .base import QueryEngine
 
-__all__ = ["CHEngine", "contract_graph", "ContractionResult"]
+__all__ = ["CHEngine", "contract_graph", "unpack_shortcuts", "ContractionResult"]
 
 INF = float("inf")
+
+
+def unpack_shortcuts(middle: Dict[Tuple[int, int], int], packed: List[int]) -> List[int]:
+    """Expand a packed node sequence via shortcut middles (iterative).
+
+    ``packed`` lists consecutive CH-graph edges ``(a, b)``; every pair
+    with an entry in ``middle`` splits into ``(a, mid), (mid, b)`` until
+    only original edges remain.  Shared by the CH and HL engines.
+    """
+    nodes: List[int] = [packed[0]]
+    stack: List[Tuple[int, int]] = [
+        (packed[i], packed[i + 1]) for i in range(len(packed) - 2, -1, -1)
+    ]
+    while stack:
+        a, b = stack.pop()
+        mid = middle.get((a, b))
+        if mid is None:
+            nodes.append(b)
+        else:
+            stack.append((mid, b))
+            stack.append((a, mid))
+    return nodes
 
 
 class ContractionResult:
@@ -317,20 +339,7 @@ class CHEngine(QueryEngine):
 
     def _unpack(self, packed: List[int]) -> List[int]:
         """Expand shortcuts via middle nodes (iterative, stack-based)."""
-        middle = self._res.middle
-        nodes: List[int] = [packed[0]]
-        stack: List[Tuple[int, int]] = [
-            (packed[i], packed[i + 1]) for i in range(len(packed) - 2, -1, -1)
-        ]
-        while stack:
-            a, b = stack.pop()
-            mid = middle.get((a, b))
-            if mid is None:
-                nodes.append(b)
-            else:
-                stack.append((mid, b))
-                stack.append((a, mid))
-        return nodes
+        return unpack_shortcuts(self._res.middle, packed)
 
     def _query(
         self, source: int, target: int, want_parents: bool

@@ -1,0 +1,365 @@
+"""Hub labeling (2-hop labels) built from the CH hierarchy.
+
+The fastest query scheme in the Wu et al. experimental study (VLDB 2012)
+and the one the paper's sub-millisecond ambition ultimately points at:
+precompute for every node ``u`` a *forward label* — pairs ``(h, d(u,h))``
+over a small set of hub nodes — and a *backward label* with distances
+*into* ``u``; then ``d(s, t)`` is the minimum of
+``d(s, h) + d(h, t)`` over hubs ``h`` common to the forward label of
+``s`` and the backward label of ``t``.  No graph traversal at query
+time: two sorted arrays, one merge-join.
+
+Construction reuses the CH machinery of :mod:`repro.baselines.ch`
+(reference [11]) in the style of Abraham et al.'s CH-based hub labels
+and Akiba et al.'s pruned landmark labeling (SIGMOD 2013):
+
+* Contract the graph once; ``rank`` orders nodes by importance.
+* Process nodes in **descending** rank order.  For node ``u``, the
+  forward label candidates are exactly the nodes settled by a CH upward
+  search from ``u`` (the bidirectional CH query's forward half), whose
+  correctness guarantees that every shortest path ``u -> t`` has a
+  meeting hub present in both ``u``'s upward search space and ``t``'s
+  downward one.
+* **Pruning:** when the upward search settles ``h`` at distance ``d``,
+  the already-built labels (all hubs outrank ``u``) answer ``d(u, h)``;
+  if that label query is ``<= d`` the entry is redundant — some higher
+  hub already covers every pair this entry could serve — so ``h`` is
+  neither labelled nor expanded.  This is what keeps labels small.
+
+Storage is flat CSR-style parallel arrays, matching the PR-1 graph
+substrate idiom: ``label_head[u] : label_head[u+1]`` delimits node
+``u``'s slice of ``label_hub`` / ``label_dist`` / ``label_parent``, with
+hubs sorted ascending per node so the distance query is a pure two-index
+merge-join.  ``label_parent`` stores each hub's predecessor on the
+upward path from the node (``-1`` for the node itself), which together
+with the contraction's shortcut middles reconstructs full original-graph
+paths.
+
+The batched surface (:meth:`HubLabelIndex.one_to_many`,
+``distance_table`` via the base class) scans the source label **once**
+per batch: the forward label becomes a hub -> distance dict, and each
+target costs one pass over its backward label with dict probes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..graph.path import Path
+from ..graph.workspace import acquire, release
+from .base import QueryEngine
+from .ch import ContractionResult, contract_graph, unpack_shortcuts
+
+__all__ = ["HubLabelIndex"]
+
+INF = float("inf")
+
+
+def _pruned_upward_labels(
+    u: int,
+    adjacency: List[List[Tuple[int, float, Optional[int]]]],
+    opposite: List[Optional[List[Tuple[int, float, int]]]],
+    ws,
+) -> List[Tuple[int, float, int]]:
+    """One pruned CH upward search; returns ``u``'s label, hub-sorted.
+
+    ``adjacency`` is the upward graph of the search direction (``up_out``
+    for forward labels, ``up_in`` for backward); ``opposite`` holds the
+    *finished* labels of the opposite direction, complete for every node
+    of higher rank — which is all any settled hub can be, since upward
+    edges only ascend ranks.
+
+    A settled hub is pruned when the label query over ``u``'s
+    already-accepted entries and the hub's opposite label matches or
+    beats its settled distance; pruned hubs are not expanded, so whole
+    redundant subtrees disappear.  A kept hub's search-tree parent was
+    necessarily expanded, hence kept, so parent chains stay inside the
+    label — that is what makes ``label_parent`` walkable.
+    """
+    c = ws.begin()
+    dist = ws.dist
+    visit = ws.visit
+    parent = ws.parent
+    dist[u] = 0.0
+    visit[u] = c
+    parent[u] = -1
+    accepted: Dict[int, float] = {}
+    entries: List[Tuple[int, float, int]] = []
+    heap: List[Tuple[float, int]] = [(0.0, u)]
+    while heap:
+        d, x = heappop(heap)
+        if d > dist[x]:
+            continue  # stale entry
+        if x != u:
+            # Label query d(u, x) over accepted-so-far x opposite label.
+            best = INF
+            for hub, hd, _ in opposite[x]:
+                ad = accepted.get(hub)
+                if ad is not None and ad + hd < best:
+                    best = ad + hd
+            if best <= d:
+                continue  # covered by a higher hub: prune the subtree
+        accepted[x] = d
+        entries.append((x, d, parent[x]))
+        for v, w, _ in adjacency[x]:
+            nd = d + w
+            if visit[v] != c:
+                visit[v] = c
+                dist[v] = nd
+                parent[v] = x
+                heappush(heap, (nd, v))
+            elif nd < dist[v]:
+                dist[v] = nd
+                parent[v] = x
+                heappush(heap, (nd, v))
+    entries.sort()
+    return entries
+
+
+def _flatten(
+    labels: Sequence[List[Tuple[int, float, int]]],
+) -> Tuple[array, array, array, array]:
+    """Pack per-node entry lists into the flat CSR-style columns."""
+    head = array("q", bytes(8 * (len(labels) + 1)))
+    hub = array("q")
+    dist = array("d")
+    par = array("q")
+    for u, entries in enumerate(labels):
+        for h, d, p in entries:
+            hub.append(h)
+            dist.append(d)
+            par.append(p)
+        head[u + 1] = len(hub)
+    return head, hub, dist, par
+
+
+class HubLabelIndex(QueryEngine):
+    """2-hop label distance oracle with CH-shortcut path reconstruction.
+
+    Parameters
+    ----------
+    order, hop_limit, settle_limit:
+        Passed through to :func:`repro.baselines.ch.contract_graph`
+        (``order=None`` selects the classic lazy edge-difference order).
+    contraction:
+        An existing :class:`ContractionResult` to label over, skipping
+        the contraction phase (e.g. share one hierarchy between a
+        :class:`~repro.baselines.ch.CHEngine` and its labels).
+    """
+
+    name = "HL"
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Optional[Sequence[int]] = None,
+        hop_limit: int = 8,
+        settle_limit: int = 64,
+        contraction: Optional[ContractionResult] = None,
+    ) -> None:
+        super().__init__(graph)
+        res = contraction if contraction is not None else contract_graph(
+            graph, order=order, hop_limit=hop_limit, settle_limit=settle_limit
+        )
+        self._middle: Dict[Tuple[int, int], int] = res.middle
+        n = graph.n
+        # Descending rank: every hub a search can settle is already done.
+        by_rank = [0] * n
+        for node, r in enumerate(res.rank):
+            by_rank[r] = node
+        fwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+        bwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+        ws = acquire(graph)
+        try:
+            for r in range(n - 1, -1, -1):
+                u = by_rank[r]
+                fwd[u] = _pruned_upward_labels(u, res.up_out, bwd, ws)
+                bwd[u] = _pruned_upward_labels(u, res.up_in, fwd, ws)
+        finally:
+            release(graph, ws)
+        self.fwd_head, self.fwd_hub, self.fwd_dist, self.fwd_parent = _flatten(fwd)
+        self.bwd_head, self.bwd_hub, self.bwd_dist, self.bwd_parent = _flatten(bwd)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def index_size(self) -> int:
+        """Label entries (both directions) plus shortcut-middle entries."""
+        return len(self.fwd_hub) + len(self.bwd_hub) + len(self._middle)
+
+    @property
+    def label_count(self) -> int:
+        """Total label entries across both directions."""
+        return len(self.fwd_hub) + len(self.bwd_hub)
+
+    def average_label_size(self) -> float:
+        """Mean entries per node per direction (the classic HL metric)."""
+        return self.label_count / (2.0 * max(1, self.graph.n))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, source: int, target: int) -> float:
+        """Merge-join of the two sorted label slices; no graph traversal."""
+        if source == target:
+            return 0.0
+        fhub, fdist = self.fwd_hub, self.fwd_dist
+        bhub, bdist = self.bwd_hub, self.bwd_dist
+        i = self.fwd_head[source]
+        iend = self.fwd_head[source + 1]
+        j = self.bwd_head[target]
+        jend = self.bwd_head[target + 1]
+        best = INF
+        while i < iend and j < jend:
+            a = fhub[i]
+            b = bhub[j]
+            if a == b:
+                d = fdist[i] + bdist[j]
+                if d < best:
+                    best = d
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def _meet(self, source: int, target: int) -> Tuple[float, int]:
+        """Like :meth:`distance` but also returns the best hub (-1 if none)."""
+        fhub, fdist = self.fwd_hub, self.fwd_dist
+        bhub, bdist = self.bwd_hub, self.bwd_dist
+        i = self.fwd_head[source]
+        iend = self.fwd_head[source + 1]
+        j = self.bwd_head[target]
+        jend = self.bwd_head[target + 1]
+        best = INF
+        hub = -1
+        while i < iend and j < jend:
+            a = fhub[i]
+            b = bhub[j]
+            if a == b:
+                d = fdist[i] + bdist[j]
+                if d < best:
+                    best = d
+                    hub = a
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return best, hub
+
+    def one_to_many(self, source: int, targets) -> List[float]:
+        """HL fast path: scan the source label once for the whole batch.
+
+        The forward label becomes a hub -> distance dict (built once per
+        call); every target then costs one pass over its backward label
+        with O(1) dict probes — no merge pointer per pair, no search.
+        """
+        targets = list(targets)
+        if not targets:
+            return []
+        src: Dict[int, float] = {}
+        fhub, fdist = self.fwd_hub, self.fwd_dist
+        for i in range(self.fwd_head[source], self.fwd_head[source + 1]):
+            src[fhub[i]] = fdist[i]
+        bhead, bhub, bdist = self.bwd_head, self.bwd_hub, self.bwd_dist
+        get = src.get
+        out: List[float] = []
+        for t in targets:
+            if t == source:
+                out.append(0.0)
+                continue
+            best = INF
+            for j in range(bhead[t], bhead[t + 1]):
+                d = get(bhub[j])
+                if d is not None:
+                    d += bdist[j]
+                    if d < best:
+                        best = d
+            out.append(best)
+        return out
+
+    def distance_table(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> List[List[float]]:
+        """Batched HL join: invert the target labels once, then stream.
+
+        The targets' backward labels are bucketed by hub up front
+        (``hub -> [(column, dist)]``); each source then scans its
+        forward label once, and every hub hit replays its bucket with
+        plain additions — no per-pair merge pointers, no hashing in the
+        inner loop.  Work is proportional to the number of *actual*
+        hub co-occurrences instead of ``|sources| x |targets|`` label
+        scans.
+        """
+        targets = list(targets)
+        if not targets:
+            return [[] for _ in sources]
+        buckets: Dict[int, List[Tuple[int, float]]] = {}
+        bhead, bhub, bdist = self.bwd_head, self.bwd_hub, self.bwd_dist
+        for col, t in enumerate(targets):
+            for k in range(bhead[t], bhead[t + 1]):
+                buckets.setdefault(bhub[k], []).append((col, bdist[k]))
+        fhead, fhub, fdist = self.fwd_head, self.fwd_hub, self.fwd_dist
+        ncols = len(targets)
+        get = buckets.get
+        table: List[List[float]] = []
+        for s in sources:
+            row = [INF] * ncols
+            for i in range(fhead[s], fhead[s + 1]):
+                bucket = get(fhub[i])
+                if bucket is None:
+                    continue
+                d = fdist[i]
+                for col, bd in bucket:
+                    nd = d + bd
+                    if nd < row[col]:
+                        row[col] = nd
+            for col, t in enumerate(targets):
+                if t == s:
+                    row[col] = 0.0
+            table.append(row)
+        return table
+
+    def shortest_path(self, source: int, target: int) -> Optional[Path]:
+        """Parent-hub walk on both sides, then CH shortcut unpacking."""
+        if source == target:
+            return Path((source,), 0.0)
+        best, hub = self._meet(source, target)
+        if hub < 0:
+            return None
+        packed = self._walk(
+            self.fwd_head, self.fwd_hub, self.fwd_parent, source, hub
+        )
+        packed.reverse()  # source .. hub
+        down = self._walk(
+            self.bwd_head, self.bwd_hub, self.bwd_parent, target, hub
+        )
+        packed.extend(down[1:])  # hub already present
+        return Path(tuple(unpack_shortcuts(self._middle, packed)), best)
+
+    @staticmethod
+    def _walk(
+        head: array, hubs: array, parents: array, node: int, hub: int
+    ) -> List[int]:
+        """Parent chain ``hub -> .. -> node`` inside ``node``'s label.
+
+        Every parent of a kept hub is itself a kept hub (see
+        :func:`_pruned_upward_labels`), so each step is one binary search
+        in the node's sorted label slice.
+        """
+        lo, hi = head[node], head[node + 1]
+        chain = [hub]
+        x = hub
+        while x != node:
+            i = bisect_left(hubs, x, lo, hi)
+            x = parents[i]
+            chain.append(x)
+        return chain

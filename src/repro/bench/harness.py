@@ -18,6 +18,7 @@ from ..baselines import (
     BidirectionalEngine,
     CHEngine,
     DijkstraEngine,
+    HubLabelIndex,
     QueryEngine,
     SILCEngine,
     TNREngine,
@@ -42,6 +43,7 @@ ENGINE_FACTORIES: Dict[str, Callable[..., QueryEngine]] = {
     "A*": AStarEngine,
     "ALT": ALTEngine,
     "CH": CHEngine,
+    "HL": HubLabelIndex,
     "SILC": SILCEngine,
     "TNR": TNREngine,
     "FC": FCIndex,

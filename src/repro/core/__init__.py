@@ -22,9 +22,11 @@ from .serialize import (
     index_bytes,
     load_bundle,
     load_graph,
+    load_hl_index,
     load_index,
     save_bundle,
     save_graph,
+    save_hl_index,
     save_index,
 )
 from .sliding_window import SlidingWindowResult, sliding_window
@@ -49,6 +51,8 @@ __all__ = [
     "sliding_window",
     "save_index",
     "load_index",
+    "save_hl_index",
+    "load_hl_index",
     "index_bytes",
     "save_graph",
     "load_graph",

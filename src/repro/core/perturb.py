@@ -16,6 +16,21 @@ between equal-length paths — the paper's "multiple narrow-range integers"
 remark implemented with one scaled integer per edge.
 :meth:`PerturbedGraph.unperturb_distance` inverts the transform.
 
+Exactness discipline
+--------------------
+``S ≈ n²`` grows fast, and graph weights are ultimately stored as IEEE
+doubles: once any quantity in the pipeline crosses ``2^53`` the nuance
+bits round away *silently* and the floor division in
+:meth:`~PerturbedGraph.unperturb_distance` stops being exact — precisely
+the failure mode Assumption 2 exists to rule out.  ``perturb_weights``
+therefore does the whole transform in exact **integer** arithmetic when
+the original weights are integral, and then checks the worst-case
+perturbed *path* length ``(n-1) · max_edge`` against ``2^53``: within
+the bound, every Dijkstra partial sum is an exactly-representable
+integer and recovery is exact; beyond it, the default is to raise (pass
+``strict=False`` to proceed with ``exact=False`` flagged and
+division-based approximate recovery).
+
 Note that the *correctness* of this package's indexes never depends on
 perturbation (arterial marking is tie-inclusive, see
 :mod:`repro.core.arterial`); the module exists for faithfulness and for
@@ -31,6 +46,9 @@ from typing import Dict, Tuple
 from ..graph.graph import Graph
 
 __all__ = ["PerturbedGraph", "perturb_weights", "recommended_tau"]
+
+#: Largest integer magnitude below which IEEE-754 doubles are exact.
+_FLOAT_EXACT_LIMIT = 2 ** 53
 
 
 def recommended_tau(graph: Graph, h: int) -> int:
@@ -50,30 +68,35 @@ class PerturbedGraph:
     graph:
         The perturbed graph; every weight is ``scale * w + nuance(e)``.
     scale:
-        The multiplier ``S`` applied to original weights.
+        The (integer) multiplier ``S`` applied to original weights.
     nuances:
         Map from directed edge to its integer nuance.
     integral:
-        True when every original weight was an integer, in which case
-        :meth:`unperturb_distance` is exact.
+        True when every original weight was an integer.
+    exact:
+        True when recovery via floor division is guaranteed exact:
+        integral weights *and* every simple-path sum of perturbed
+        weights stays below ``2^53`` (the double-precision integer
+        limit), so no nuance bit is ever rounded away.
     """
 
     graph: Graph
-    scale: float
+    scale: int
     nuances: Dict[Tuple[int, int], int]
     integral: bool
+    exact: bool
 
     def unperturb_distance(self, perturbed: float) -> float:
         """Recover the original-weight distance from a perturbed one.
 
-        Exact for integral original weights (the nuance share of any
-        simple path is below ``scale``); otherwise the closest rational
-        approximation ``perturbed / scale``.
+        Exact when :attr:`exact` (the nuance share of any simple path is
+        below ``scale`` and no rounding occurred anywhere); otherwise
+        the closest rational approximation ``perturbed / scale``.
         """
         if perturbed == float("inf"):
             return perturbed
-        if self.integral:
-            return float(int(perturbed // self.scale))
+        if self.exact:
+            return float(int(perturbed) // self.scale)
         return perturbed / self.scale
 
     def nuance_of(self, u: int, v: int) -> int:
@@ -81,32 +104,58 @@ class PerturbedGraph:
         return self.nuances[(u, v)]
 
 
-def perturb_weights(graph: Graph, seed: int = 0) -> PerturbedGraph:
+def perturb_weights(graph: Graph, seed: int = 0, strict: bool = True) -> PerturbedGraph:
     """Apply Appendix A's perturbation and return the perturbed graph.
 
     The nuance range is ``[0, B)`` with ``B = max(2, n)`` and the scale
     ``S = B · (n + 1)``: a simple path has at most ``n - 1`` edges, so it
     accumulates strictly less than ``S`` of nuance.  For integer original
-    weights the true distance is therefore always ``perturbed // S`` and
-    path ordering by true length is preserved exactly; among equal-length
-    paths, nuances break ties uniformly at random, which is Assumption
-    2's mechanism.
+    weights the transform runs in exact integer arithmetic, so the true
+    distance is always ``perturbed // S`` and path ordering by true
+    length is preserved exactly; among equal-length paths, nuances break
+    ties uniformly at random, which is Assumption 2's mechanism.
+
+    Exactness cannot be guaranteed when the original weights are not
+    integral, or when a worst-case simple path's perturbed length
+    ``(n-1) · (S · max_w + B - 1)`` reaches ``2^53`` — beyond that the
+    double-precision storage (and Dijkstra's running sums) silently
+    round the nuance away.  With ``strict=True`` (default) the overflow
+    case raises ``ValueError``; with ``strict=False`` it proceeds and
+    the result carries ``exact=False`` so
+    :meth:`PerturbedGraph.unperturb_distance` falls back to approximate
+    division.
     """
     rng = random.Random(seed)
     n = graph.n
     nuance_bound = max(2, n)
-    scale = float(nuance_bound * (n + 1))
+    scale = nuance_bound * (n + 1)
     nuances: Dict[Tuple[int, int], int] = {}
-    integral = True
+    integral = all(float(w).is_integer() for w in graph.out_w)
+    exact = integral
+    if integral and graph.m:
+        # Worst-case perturbed simple-path sum; if it stays below 2^53
+        # every Dijkstra partial sum is an exactly-representable integer.
+        max_pw = scale * int(max(graph.out_w)) + nuance_bound - 1
+        if (n - 1) * max_pw >= _FLOAT_EXACT_LIMIT:
+            if strict:
+                raise ValueError(
+                    f"perturbation overflow: scale {scale} * max weight "
+                    f"{int(max(graph.out_w))} over up to {n - 1} hops "
+                    f"exceeds 2^53, so float64 storage would silently "
+                    f"drop nuance bits; pass strict=False to accept "
+                    f"approximate (exact=False) recovery"
+                )
+            exact = False
     out = []
     for u in graph.nodes():
         adj = []
         for v, w in graph.out[u]:
             rho = rng.randrange(nuance_bound)
             nuances[(u, v)] = rho
-            adj.append((v, scale * w + rho))
-            if integral and not float(w).is_integer():
-                integral = False
+            if integral:
+                adj.append((v, scale * int(w) + rho))
+            else:
+                adj.append((v, scale * w + rho))
         out.append(adj)
     perturbed = Graph(graph.xs, graph.ys, out)
-    return PerturbedGraph(perturbed, scale, nuances, integral)
+    return PerturbedGraph(perturbed, scale, nuances, integral, exact)

@@ -33,8 +33,21 @@ adjacency::
     out_head[n+1] (int64), out_dst[m] (int64), out_w[m] (float64)
     in_head[n+1]  (int64), in_src[m] (int64), in_w[m]  (float64)
 
-:func:`save_bundle` / :func:`load_bundle` concatenate the two formats so
-one file round-trips a deployable (graph, index) pair.
+Hub-label indexes (:class:`repro.baselines.hl.HubLabelIndex`) get their
+own ``HL1`` section: the label columns are already flat parallel arrays,
+so the dump is a straight ``array.tofile`` of the eight label columns
+plus the shortcut-middle triples that path unpacking needs::
+
+    magic  b"HLIDX1\\n"
+    header: n (int64)
+    forward:  head[n+1] (int64), count (int64),
+              hub (int64), dist (float64), parent (int64)
+    backward: same layout
+    middles:  count (int64), a (int64), b (int64), mid (int64)
+
+:func:`save_bundle` / :func:`load_bundle` concatenate a graph section
+with an index section (AH or HL — the magic picks the loader) so one
+file round-trips a deployable (graph, index) pair.
 """
 
 from __future__ import annotations
@@ -44,6 +57,7 @@ from array import array
 from typing import BinaryIO, List, Optional, Tuple, Union
 
 from ..baselines.ch import ContractionResult
+from ..baselines.hl import HubLabelIndex
 from ..graph.graph import Graph
 from ..spatial.grid import GridPyramid, NodeGrid
 from .ah import AHIndex
@@ -52,6 +66,8 @@ __all__ = [
     "save_index",
     "load_index",
     "index_bytes",
+    "save_hl_index",
+    "load_hl_index",
     "save_graph",
     "load_graph",
     "save_bundle",
@@ -59,6 +75,7 @@ __all__ = [
 ]
 
 _MAGIC = b"AHIDX1\n"
+_HL_MAGIC = b"HLIDX1\n"
 _GRAPH_MAGIC = b"GCSR1\n"
 
 _FLAG_PROXIMITY = 1
@@ -153,20 +170,25 @@ def load_index(source: Union[str, BinaryIO], graph: Graph) -> AHIndex:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise ValueError("not an AH index file (bad magic)")
-        n, h, flags, ox, oy, side = struct.unpack("<iii3d", fh.read(36))
-        if n != graph.n:
-            raise ValueError(
-                f"index was built for {n} nodes but the graph has {graph.n}"
-            )
-        levels = array("i")
-        levels.fromfile(fh, n)
-        rank = array("i")
-        rank.fromfile(fh, n)
-        up_out = _read_adjacency(fh, n)
-        up_in = _read_adjacency(fh, n)
+        return _load_index_body(fh, graph)
     finally:
         if own:
             fh.close()
+
+
+def _load_index_body(fh: BinaryIO, graph: Graph) -> AHIndex:
+    """Read everything after the ``AHIDX1`` magic and rebuild the index."""
+    n, h, flags, ox, oy, side = struct.unpack("<iii3d", fh.read(36))
+    if n != graph.n:
+        raise ValueError(
+            f"index was built for {n} nodes but the graph has {graph.n}"
+        )
+    levels = array("i")
+    levels.fromfile(fh, n)
+    rank = array("i")
+    rank.fromfile(fh, n)
+    up_out = _read_adjacency(fh, n)
+    up_in = _read_adjacency(fh, n)
 
     middle = {}
     shortcut_count = 0
@@ -204,13 +226,123 @@ def load_index(source: Union[str, BinaryIO], graph: Graph) -> AHIndex:
     return index
 
 
-def index_bytes(index: AHIndex) -> int:
+def index_bytes(index: Union[AHIndex, HubLabelIndex]) -> int:
     """Size of the serialized index in bytes (Figure 10a in real units)."""
     import io
 
     buf = io.BytesIO()
-    save_index(index, buf)
+    if isinstance(index, HubLabelIndex):
+        save_hl_index(index, buf)
+    else:
+        save_index(index, buf)
     return buf.tell()
+
+
+# ----------------------------------------------------------------------
+# HL1: hub-label indexes
+# ----------------------------------------------------------------------
+def _write_label_side(
+    fh: BinaryIO, head: array, hub: array, dist: array, parent: array
+) -> None:
+    head.tofile(fh)
+    fh.write(struct.pack("<q", len(hub)))
+    hub.tofile(fh)
+    dist.tofile(fh)
+    parent.tofile(fh)
+
+
+def _read_label_side(fh: BinaryIO, n: int) -> Tuple[array, array, array, array]:
+    head = array("q")
+    head.fromfile(fh, n + 1)
+    (total,) = struct.unpack("<q", fh.read(8))
+    hub = array("q")
+    hub.fromfile(fh, total)
+    dist = array("d")
+    dist.fromfile(fh, total)
+    parent = array("q")
+    parent.fromfile(fh, total)
+    return head, hub, dist, parent
+
+
+def save_hl_index(index: HubLabelIndex, sink: Union[str, BinaryIO]) -> None:
+    """Write a hub-label index's query-time state to ``sink``.
+
+    The label columns are dumped verbatim (they already are flat
+    arrays); the shortcut-middle dict becomes three parallel int
+    columns so path unpacking survives the round-trip.
+    """
+    own = isinstance(sink, str)
+    fh: BinaryIO = open(sink, "wb") if own else sink  # type: ignore[assignment]
+    try:
+        fh.write(_HL_MAGIC)
+        fh.write(struct.pack("<q", index.graph.n))
+        _write_label_side(
+            fh, index.fwd_head, index.fwd_hub, index.fwd_dist, index.fwd_parent
+        )
+        _write_label_side(
+            fh, index.bwd_head, index.bwd_hub, index.bwd_dist, index.bwd_parent
+        )
+        middle = index._middle
+        fh.write(struct.pack("<q", len(middle)))
+        a_col = array("q")
+        b_col = array("q")
+        mid_col = array("q")
+        for (a, b), mid in middle.items():
+            a_col.append(a)
+            b_col.append(b)
+            mid_col.append(mid)
+        a_col.tofile(fh)
+        b_col.tofile(fh)
+        mid_col.tofile(fh)
+    finally:
+        if own:
+            fh.close()
+
+
+def load_hl_index(source: Union[str, BinaryIO], graph: Graph) -> HubLabelIndex:
+    """Reconstruct a queryable :class:`HubLabelIndex` from ``source``.
+
+    The loaded index answers distance *and* path queries without any
+    rebuilding: labels, parent hubs and shortcut middles all come off
+    the file.
+    """
+    own = isinstance(source, str)
+    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    try:
+        magic = fh.read(len(_HL_MAGIC))
+        if magic != _HL_MAGIC:
+            raise ValueError("not a hub-label index file (bad magic)")
+        return _load_hl_body(fh, graph)
+    finally:
+        if own:
+            fh.close()
+
+
+def _load_hl_body(fh: BinaryIO, graph: Graph) -> HubLabelIndex:
+    """Read everything after the ``HLIDX1`` magic and rebuild the index."""
+    (n,) = struct.unpack("<q", fh.read(8))
+    if n != graph.n:
+        raise ValueError(
+            f"index was built for {n} nodes but the graph has {graph.n}"
+        )
+    fwd = _read_label_side(fh, n)
+    bwd = _read_label_side(fh, n)
+    (mcount,) = struct.unpack("<q", fh.read(8))
+    a_col = array("q")
+    a_col.fromfile(fh, mcount)
+    b_col = array("q")
+    b_col.fromfile(fh, mcount)
+    mid_col = array("q")
+    mid_col.fromfile(fh, mcount)
+
+    index = HubLabelIndex.__new__(HubLabelIndex)
+    index.graph = graph
+    index.fwd_head, index.fwd_hub, index.fwd_dist, index.fwd_parent = fwd
+    index.bwd_head, index.bwd_hub, index.bwd_dist, index.bwd_parent = bwd
+    index._middle = {
+        (a_col[i], b_col[i]): mid_col[i] for i in range(mcount)
+    }
+    return index
 
 
 # ----------------------------------------------------------------------
@@ -282,30 +414,50 @@ def load_graph(source: Union[str, BinaryIO]) -> Graph:
 # ----------------------------------------------------------------------
 # Bundles: one file holding the graph and its index
 # ----------------------------------------------------------------------
-def save_bundle(index: AHIndex, sink: Union[str, BinaryIO]) -> None:
+def save_bundle(
+    index: Union[AHIndex, HubLabelIndex], sink: Union[str, BinaryIO]
+) -> None:
     """Write ``index``'s graph followed by the index itself.
 
-    The result is self-contained: :func:`load_bundle` needs no
-    separately-loaded network, which is the deployment story the paper's
-    §7 memory-footprint discussion asks for.
+    Works for AH and hub-label indexes alike (the index section's magic
+    records which it was).  The result is self-contained:
+    :func:`load_bundle` needs no separately-loaded network, which is the
+    deployment story the paper's §7 memory-footprint discussion asks
+    for.
     """
     own = isinstance(sink, str)
     fh: BinaryIO = open(sink, "wb") if own else sink  # type: ignore[assignment]
     try:
         save_graph(index.graph, fh)
-        save_index(index, fh)
+        if isinstance(index, HubLabelIndex):
+            save_hl_index(index, fh)
+        else:
+            save_index(index, fh)
     finally:
         if own:
             fh.close()
 
 
-def load_bundle(source: Union[str, BinaryIO]) -> Tuple[Graph, AHIndex]:
-    """Load a ``(graph, index)`` pair written by :func:`save_bundle`."""
+def load_bundle(
+    source: Union[str, BinaryIO],
+) -> Tuple[Graph, Union[AHIndex, HubLabelIndex]]:
+    """Load a ``(graph, index)`` pair written by :func:`save_bundle`.
+
+    The index section's magic selects the loader, so callers get back
+    whichever engine the bundle was saved with (``AHIDX1`` and
+    ``HLIDX1`` magics are deliberately the same length).
+    """
     own = isinstance(source, str)
     fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
     try:
         graph = load_graph(fh)
-        index = load_index(fh, graph)
+        magic = fh.read(len(_MAGIC))
+        if magic == _MAGIC:
+            index = _load_index_body(fh, graph)
+        elif magic == _HL_MAGIC:
+            index = _load_hl_body(fh, graph)
+        else:
+            raise ValueError("bundle's index section has an unknown magic")
     finally:
         if own:
             fh.close()

@@ -48,16 +48,23 @@ def _open_for_write(sink: PathOrFile) -> Tuple[TextIO, bool]:
 
 
 def read_gr(source: PathOrFile) -> Tuple[int, List[Tuple[int, int, float]]]:
-    """Parse a ``.gr`` arc file; return ``(n, arcs)`` with 0-based ids."""
+    """Parse a ``.gr`` arc file; return ``(n, arcs)`` with 0-based ids.
+
+    Only a record whose *first field* is exactly ``c`` is a comment —
+    ``line.startswith("c")`` would silently swallow malformed records
+    like ``co 1 2`` that deserve a loud rejection.
+    """
     fh, should_close = _open_for_read(source)
     try:
         n: Optional[int] = None
         arcs: List[Tuple[int, int, float]] = []
         for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
-            if not line or line.startswith("c"):
+            if not line:
                 continue
             parts = line.split()
+            if parts[0] == "c":
+                continue
             if parts[0] == "p":
                 if len(parts) != 4 or parts[1] != "sp":
                     raise ValueError(f"line {lineno}: malformed problem line {line!r}")
@@ -78,16 +85,33 @@ def read_gr(source: PathOrFile) -> Tuple[int, List[Tuple[int, int, float]]]:
 
 
 def read_co(source: PathOrFile) -> Dict[int, Tuple[float, float]]:
-    """Parse a ``.co`` coordinate file; return ``{node: (x, y)}`` 0-based."""
+    """Parse a ``.co`` coordinate file; return ``{node: (x, y)}`` 0-based.
+
+    Comments are records whose first field is exactly ``c`` (same rule
+    as :func:`read_gr`), and the problem line must have the DIMACS
+    ``p aux sp co <n>`` shape — anything else is rejected rather than
+    silently skipped.
+    """
     fh, should_close = _open_for_read(source)
     try:
         coords: Dict[int, Tuple[float, float]] = {}
         for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
-            if not line or line.startswith("c"):
+            if not line:
                 continue
             parts = line.split()
+            if parts[0] == "c":
+                continue
             if parts[0] == "p":
+                if (
+                    len(parts) != 5
+                    or parts[1:4] != ["aux", "sp", "co"]
+                    or not parts[4].isdigit()
+                ):
+                    raise ValueError(
+                        f"line {lineno}: malformed problem line {line!r} "
+                        f"(expected 'p aux sp co <n>')"
+                    )
                 continue
             if parts[0] == "v":
                 if len(parts) != 4:
@@ -101,15 +125,37 @@ def read_co(source: PathOrFile) -> Dict[int, Tuple[float, float]]:
             fh.close()
 
 
-def read_dimacs(gr_source: PathOrFile, co_source: Optional[PathOrFile] = None) -> Graph:
+def read_dimacs(
+    gr_source: PathOrFile,
+    co_source: Optional[PathOrFile] = None,
+    strict: Optional[bool] = None,
+) -> Graph:
     """Load a DIMACS graph (and optionally its coordinates) into a Graph.
 
-    Nodes missing from the coordinate file (or when no ``.co`` is given)
-    receive ``(0, 0)``; the spatial index layers require real coordinates,
-    so benchmarks always pass both files.
+    ``strict`` defaults to on exactly when a ``.co`` file was provided:
+    a coordinate file that covers only part of the node set would
+    otherwise silently hand ``(0, 0)`` to the missing nodes, poisoning
+    the spatial grids and the A*/ALT heuristics with bogus geometry far
+    from the failure site.  Strict mode raises instead, naming the
+    damage.  Pass ``strict=False`` to accept the ``(0, 0)`` fallback
+    deliberately; without a ``.co`` file every node gets ``(0, 0)`` and
+    strict never triggers.
     """
     n, arcs = read_gr(gr_source)
     coords = read_co(co_source) if co_source is not None else {}
+    if strict is None:
+        strict = co_source is not None
+    if strict:
+        # Coverage of range(n), not a length check: an out-of-range v id
+        # in the .co file must not mask a genuinely missing node.
+        missing = [node for node in range(n) if node not in coords]
+        if missing:
+            preview = ", ".join(str(node + 1) for node in missing[:5])
+            raise ValueError(
+                f"{len(missing)} of {n} nodes have no coordinates in the .co "
+                f"file (1-based ids: {preview}{', ...' if len(missing) > 5 else ''}); "
+                f"pass strict=False to default them to (0, 0)"
+            )
     builder = GraphBuilder()
     for node in range(n):
         x, y = coords.get(node, (0.0, 0.0))

@@ -55,6 +55,46 @@ class TestRoundTrip:
         assert all(g2.coord(u) == (0.0, 0.0) for u in g2.nodes())
 
 
+class TestStrictCoordinates:
+    """A partial .co file must fail loudly, not poison the geometry."""
+
+    GR = "p sp 3 2\na 1 2 5\na 2 3 4\n"
+    PARTIAL_CO = "p aux sp co 3\nv 1 10 20\nv 3 30 40\n"  # node 2 missing
+
+    def test_partial_co_raises_by_default(self):
+        with pytest.raises(ValueError, match="1 of 3 nodes"):
+            read_dimacs(io.StringIO(self.GR), io.StringIO(self.PARTIAL_CO))
+
+    def test_error_names_missing_ids(self):
+        with pytest.raises(ValueError, match=r"1-based ids: 2"):
+            read_dimacs(io.StringIO(self.GR), io.StringIO(self.PARTIAL_CO))
+
+    def test_out_of_range_co_id_does_not_mask_missing_node(self):
+        # Same number of v records as nodes, but one id is out of range:
+        # node 2 is still uncovered and strict mode must say so.
+        co = "p aux sp co 3\nv 1 10 20\nv 3 30 40\nv 5 50 60\n"
+        with pytest.raises(ValueError, match="1 of 3 nodes"):
+            read_dimacs(io.StringIO(self.GR), io.StringIO(co))
+
+    def test_strict_false_defaults_missing_to_origin(self):
+        g = read_dimacs(
+            io.StringIO(self.GR), io.StringIO(self.PARTIAL_CO), strict=False
+        )
+        assert g.coord(0) == (10.0, 20.0)
+        assert g.coord(1) == (0.0, 0.0)
+        assert g.coord(2) == (30.0, 40.0)
+
+    def test_complete_co_passes_strict(self):
+        g = small_graph()
+        gr, co = dumps(g)
+        g2 = read_dimacs(io.StringIO(gr), io.StringIO(co), strict=True)
+        assert [g2.coord(u) for u in g2.nodes()] == [g.coord(u) for u in g.nodes()]
+
+    def test_no_co_file_never_strict(self):
+        g2 = read_dimacs(io.StringIO(self.GR))
+        assert all(g2.coord(u) == (0.0, 0.0) for u in g2.nodes())
+
+
 class TestParsing:
     def test_comments_and_blank_lines_ignored(self):
         gr = "c a comment\n\np sp 2 1\nc more\na 1 2 5\n"
@@ -81,7 +121,30 @@ class TestParsing:
 
     def test_co_malformed_raises(self):
         with pytest.raises(ValueError, match="malformed node"):
-            read_co(io.StringIO("v 1 2\n"))
+            read_co(io.StringIO("p aux sp co 1\nv 1 2\n"))
+
+    def test_comment_is_first_field_only(self):
+        # 'c' must be the whole first field: a malformed record that
+        # merely *starts* with the letter c is an error, not a comment.
+        with pytest.raises(ValueError, match="unknown record 'co'"):
+            read_gr(io.StringIO("p sp 2 1\nco 1 2\n"))
+        with pytest.raises(ValueError, match="unknown record 'ca'"):
+            read_gr(io.StringIO("p sp 2 1\nca 1 2 5\n"))
+        with pytest.raises(ValueError, match="unknown record 'co'"):
+            read_co(io.StringIO("p aux sp co 2\nco 1 2\n"))
+        # A real comment record still parses (bare 'c' and 'c text').
+        n, arcs = read_gr(io.StringIO("c\nc text\np sp 2 1\na 1 2 5\n"))
+        assert n == 2 and arcs == [(0, 1, 5.0)]
+
+    def test_co_problem_line_validated(self):
+        with pytest.raises(ValueError, match="malformed problem line"):
+            read_co(io.StringIO("p sp 2 1\nv 1 2 3\n"))
+        with pytest.raises(ValueError, match="malformed problem line"):
+            read_co(io.StringIO("p aux sp co\nv 1 2 3\n"))
+        with pytest.raises(ValueError, match="malformed problem line"):
+            read_co(io.StringIO("p aux sp co x\n"))
+        coords = read_co(io.StringIO("p aux sp co 1\nv 1 2 3\n"))
+        assert coords == {0: (2.0, 3.0)}
 
 
 class TestWriting:

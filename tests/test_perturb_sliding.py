@@ -79,6 +79,91 @@ class TestPerturbation:
         assert p.unperturb_distance(float("inf")) == float("inf")
 
 
+def wide_graph(n_nodes, weight):
+    """A two-lane chain with equal-length parallel routes at every hop —
+    ties everywhere, so tie-breaking actually matters."""
+    b = GraphBuilder()
+    for i in range(n_nodes):
+        b.add_node(float(i), float(i % 2))
+    for i in range(n_nodes - 1):
+        b.add_bidirectional_edge(i, i + 1, weight)
+        if i + 2 < n_nodes:
+            b.add_bidirectional_edge(i, i + 2, 2 * weight)
+    return b.build()
+
+
+class TestPerturbationPrecision:
+    """Int arithmetic end-to-end; loud failure past the float64 limit."""
+
+    def test_integer_arithmetic_is_exact_for_large_weights(self):
+        # scale * w ~ 4e13: far beyond where float noise would show in a
+        # lesser representation, still within exact float64 integers.
+        g = wide_graph(30, 10 ** 9)
+        p = perturb_weights(g, seed=2)
+        assert p.integral and p.exact
+        assert isinstance(p.scale, int)
+        for u, v, w in g.edges():
+            # Bit-exact reconstruction of every stored weight.
+            assert int(p.graph.edge_weight(u, v)) == p.scale * int(w) + p.nuance_of(u, v)
+        for s, t in [(0, 29), (3, 17), (28, 1)]:
+            perturbed = distance_query(p.graph, s, t)
+            assert p.unperturb_distance(perturbed) == distance_query(g, s, t)
+
+    def test_overflow_past_2_53_raises_by_default(self):
+        # scale * w crosses 2^53: the seed implementation silently
+        # rounded the nuance away here; now it must refuse.
+        g = wide_graph(6, 2 ** 50)
+        with pytest.raises(ValueError, match="2\\^53"):
+            perturb_weights(g, seed=1)
+
+    def test_large_graph_scale_triggers_overflow(self):
+        # The n^2 scale alone pushes moderate weights over the cliff:
+        # n=2000 -> scale ~ 4e6, weight 1e9 -> (n-1) * scale * w >> 2^53.
+        b = GraphBuilder()
+        n = 2000
+        for i in range(n):
+            b.add_node(float(i), 0.0)
+        for i in range(n - 1):
+            b.add_edge(i, i + 1, 10 ** 9)
+        g = b.build()
+        with pytest.raises(ValueError, match="strict=False"):
+            perturb_weights(g)
+
+    def test_overflow_flagged_when_not_strict(self):
+        g = wide_graph(6, 2 ** 50)
+        p = perturb_weights(g, seed=1, strict=False)
+        assert p.integral and not p.exact
+        # Recovery falls back to approximate division rather than a
+        # silently wrong exact-looking floor.
+        d = distance_query(p.graph, 0, 5)
+        approx = p.unperturb_distance(d)
+        want = distance_query(g, 0, 5)
+        assert approx == pytest.approx(want, rel=1e-6)
+
+    def test_float_weights_still_flagged_inexact(self):
+        b = GraphBuilder()
+        b.add_node(0, 0)
+        b.add_node(1, 0)
+        b.add_bidirectional_edge(0, 1, 1.5)
+        g = b.build()
+        p = perturb_weights(g)
+        assert not p.integral and not p.exact
+        d = distance_query(p.graph, 0, 1)
+        # Division recovery drifts by at most the path's nuance share,
+        # which is strictly below one original weight unit.
+        assert 1.5 <= p.unperturb_distance(d) < 2.5
+
+    def test_exact_flag_matches_unperturb_behaviour(self):
+        g = diamond_graph()
+        p = perturb_weights(g, seed=1)
+        assert p.exact
+        # Exhaustive: every pair recovers the true distance exactly.
+        for s in g.nodes():
+            for t in g.nodes():
+                got = p.unperturb_distance(distance_query(p.graph, s, t))
+                assert got == distance_query(g, s, t)
+
+
 class TestSlidingWindow:
     @pytest.fixture(scope="class")
     def setup(self):

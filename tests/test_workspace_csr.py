@@ -189,6 +189,114 @@ class TestWorkspaceReuse:
         assert inner == [distance_query(g, 3, 30), distance_query(g, 10, 2)]
 
 
+class SpyPool(list):
+    """A drop-in ``graph._scratch`` that records pop/append traffic.
+
+    Works for both entry points because the pool contract is just
+    ``list.pop`` / ``list.append`` — which is exactly what the inlined
+    fast path in ``distance_query`` and ``acquire``/``release`` use.
+    """
+
+    def __init__(self, items=()):
+        super().__init__(items)
+        self.min_len = len(self)
+        self.popped = []
+
+    def pop(self, *args):
+        ws = super().pop(*args)
+        self.min_len = min(self.min_len, len(self))
+        self.popped.append(ws)
+        return ws
+
+
+class TestPoolDiscipline:
+    """Pin the acquire/release discipline that workspace.py warns about:
+    the inlined fast path in ``distance_query`` and the public pool must
+    stay mirror images, concurrent searches must never share a live
+    workspace, and an exception mid-query must not poison the pool."""
+
+    def test_bidirectional_halves_use_distinct_workspaces(self):
+        g = grid_city(6, 6, seed=5)
+        w1, w2 = SearchWorkspace(g.n), SearchWorkspace(g.n)
+        spy = SpyPool([w1, w2])
+        g._scratch = spy
+        bidirectional_distance(g, 0, 35)
+        # Both pre-seeded workspaces were live at once (pool drained)...
+        assert spy.min_len == 0
+        assert spy.popped[0] is not spy.popped[1]
+        # ...and both came back, no duplicates, no strays.
+        assert len(spy) == 2
+        assert {id(ws) for ws in spy} == {id(w1), id(w2)}
+
+    def test_nested_search_never_reuses_a_held_workspace(self):
+        g = grid_city(6, 6, seed=5)
+        outer = acquire(g)  # simulate an in-flight outer search
+        held_version = outer.version
+        inner = [distance_query(g, s, t) for s, t in [(3, 30), (10, 2), (0, 35)]]
+        # The inner searches never touched the held workspace.
+        assert outer.version == held_version
+        release(g, outer)
+        assert inner == [distance_query(g, s, t) for s, t in [(3, 30), (10, 2), (0, 35)]]
+
+    def test_exception_mid_query_does_not_poison_pool(self):
+        class Boom:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+        g = grid_city(6, 6, seed=7)
+        want = {(0, 20): fresh_dict_dijkstra(g, 0, 20), (5, 33): fresh_dict_dijkstra(g, 5, 33)}
+        assert distance_query(g, 0, 20) == pytest.approx(want[(0, 20)])
+        pool_before = len(g._scratch)
+        view = g.out  # materialise, then sabotage a row on the search path
+        original_row = view[0]
+        view[0] = Boom()
+        with pytest.raises(RuntimeError, match="boom"):
+            distance_query(g, 0, 20)
+        view[0] = original_row
+        # The workspace went back exactly once — no leak, no duplicate.
+        assert len(g._scratch) == pool_before
+        assert len({id(ws) for ws in g._scratch}) == len(g._scratch)
+        # And later queries on the recycled workspace stay exact.
+        assert distance_query(g, 0, 20) == pytest.approx(want[(0, 20)])
+        assert distance_query(g, 5, 33) == pytest.approx(want[(5, 33)])
+        assert bidirectional_distance(g, 5, 33) == pytest.approx(want[(5, 33)])
+
+    def test_exception_in_acquire_release_path_returns_workspace(self):
+        class Boom:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+        g = grid_city(5, 5, seed=3)
+        shortest_path_query(g, 0, 24)  # warm the pool through acquire/release
+        pool_before = len(g._scratch)
+        view = g.out
+        original_row = view[0]
+        view[0] = Boom()
+        with pytest.raises(RuntimeError, match="boom"):
+            shortest_path_query(g, 0, 24)
+        view[0] = original_row
+        assert len(g._scratch) == pool_before
+        p = shortest_path_query(g, 0, 24)
+        assert p.length == pytest.approx(fresh_dict_dijkstra(g, 0, 24))
+
+    def test_inlined_fast_path_and_acquire_share_one_pool(self):
+        # Direction 1: the workspace distance_query creates and releases
+        # is the very object acquire() hands out next.
+        g = grid_city(5, 5, seed=9)
+        assert g._scratch == []
+        distance_query(g, 0, 24)
+        assert len(g._scratch) == 1
+        ws = acquire(g)
+        assert g._scratch == []
+        release(g, ws)
+        # Direction 2: a workspace released through release() is the one
+        # the inlined fast path picks up (observable via its version).
+        version_before = ws.version
+        distance_query(g, 24, 0)
+        assert ws.version == version_before + 1
+        assert g._scratch == [ws]
+
+
 class TestSerializeCSR:
     def test_graph_round_trip(self, tmp_path):
         g = towns_and_highways(3, seed=4)
