@@ -29,13 +29,18 @@ are noisy — the recorded JSON, not the guard, carries the real numbers).
 
 from __future__ import annotations
 
+import io
 import json
 import random
 import time
 from heapq import heappop, heappush
 from pathlib import Path
 
+from repro import backend
+from repro.baselines import HubLabelIndex
+from repro.bench.harness import environment_metadata
 from repro.core import AHIndex
+from repro.core.serialize import load_bundle, save_bundle
 from repro.datasets import dataset, generate_workloads
 from repro.graph.traversal import distance_query
 
@@ -174,6 +179,7 @@ def run_benchmark():
         "dataset": DATASET,
         "n": graph.n,
         "m": graph.m,
+        "environment": environment_metadata(),
         "method": "in-process interleaved A/B vs embedded seed (dict) "
         "implementation; best-of-%d batch means" % REPEATS,
         "headline": {
@@ -203,8 +209,92 @@ def run_benchmark():
                 SEED_REFERENCE["ah_distance_us"] / ah_us, 3
             ),
         },
+        "bundle_io": _bench_bundle_io(graph),
     }
     return result
+
+
+def _naive_label_io_s(hl, repeats=7):
+    """Per-entry ``struct`` packing of the label columns — the baseline
+    flat-section I/O replaces.  Embedded here (PR-1 methodology: keep
+    the slow implementation in the benchmark) so the recorded ratio is
+    reproducible on the machine that ran it."""
+    import struct as _struct
+
+    cols = (hl.fwd_head, hl.fwd_hub, hl.fwd_dist, hl.fwd_parent,
+            hl.bwd_head, hl.bwd_hub, hl.bwd_dist, hl.bwd_parent)
+    best = float("inf")
+    blob = None
+    for _ in range(repeats):
+        sink = io.BytesIO()
+        t0 = time.perf_counter()
+        for col in cols:
+            code = "<d" if col.typecode == "d" else "<q"
+            for value in col:
+                sink.write(_struct.pack(code, value))
+        best = min(best, time.perf_counter() - t0)
+        blob = sink.getvalue()
+    read_best = float("inf")
+    for _ in range(repeats):
+        src = io.BytesIO(blob)
+        t0 = time.perf_counter()
+        out = []
+        for col in cols:
+            code = "<d" if col.typecode == "d" else "<q"
+            out.append([
+                _struct.unpack(code, src.read(8))[0] for _ in range(len(col))
+            ])
+        read_best = min(read_best, time.perf_counter() - t0)
+    return best, read_best
+
+
+def _bench_bundle_io(graph, repeats=7):
+    """Save/load a full HL bundle per backend — the serialize fast path.
+
+    Flat sections move as whole-column ``tobytes`` blocks either way, so
+    both backends are timed side by side (the backend dimension); bytes
+    are asserted identical first, because a fast divergent format would
+    be a bug, not a win.  The embedded per-entry ``struct`` baseline
+    shows what whole-column I/O buys over packing one value at a time.
+    """
+    hl = HubLabelIndex(graph)
+    blobs = {}
+    timings = {}
+    names = (["numpy"] if backend.HAS_NUMPY else []) + ["pure-python"]
+    for name in names:
+        with backend.forced(name):
+            buf = io.BytesIO()
+            save_bundle(hl, buf)
+            blobs[name] = buf.getvalue()
+            save_best = load_best = float("inf")
+            for _ in range(repeats):
+                sink = io.BytesIO()
+                t0 = time.perf_counter()
+                save_bundle(hl, sink)
+                save_best = min(save_best, time.perf_counter() - t0)
+                src = io.BytesIO(blobs[name])
+                t0 = time.perf_counter()
+                load_bundle(src)
+                load_best = min(load_best, time.perf_counter() - t0)
+            timings[name] = {
+                "save_s": round(save_best, 5),
+                "load_s": round(load_best, 5),
+            }
+    assert len(set(blobs.values())) == 1, "bundle bytes differ across backends"
+    naive_save_s, naive_load_s = _naive_label_io_s(hl, repeats=3)
+    flat = timings["numpy" if backend.HAS_NUMPY else "pure-python"]
+    return {
+        "what": "HL bundle (graph + labels + middles) via BytesIO",
+        "bytes": len(next(iter(blobs.values()))),
+        "backends": timings,
+        "per_entry_struct_baseline": {
+            "what": "label columns only, one struct.pack/unpack per entry",
+            "save_s": round(naive_save_s, 5),
+            "load_s": round(naive_load_s, 5),
+            "flat_save_speedup": round(naive_save_s / flat["save_s"], 1),
+            "flat_load_speedup": round(naive_load_s / flat["load_s"], 1),
+        },
+    }
 
 
 def write_json(result, path=None):

@@ -1,12 +1,15 @@
-"""Perf guard for the hub-label oracle (PR 2).
+"""Perf guard for the hub-label oracle (PR 2) and its kernels (PR 3).
 
 Times ``HubLabelIndex.distance`` against ``CHEngine.distance`` on the
 ``NH`` suite dataset — both engines share one contraction hierarchy, so
 the comparison isolates *query scheme* (label merge-join vs
-bidirectional upward search) — and times the batched
-``distance_table`` fast path against the base-class Dijkstra fallback
-on a 100x100 matrix.  Results go to ``BENCH_hl.json`` at the repo root
-so future PRs can track the trajectory.
+bidirectional upward search) — and A/Bs the batched surface across the
+**backend dimension**: the numpy kernels (PR 3) against PR 2's
+pure-python label scans, interleaved in one process, on a 100x100
+``distance_table`` and a 1x1000 ``one_to_many`` batch, plus the
+base-class Dijkstra fallback for scale.  Results go to ``BENCH_hl.json``
+at the repo root with full environment metadata (backend + numpy
+version, CPython, platform) so the trajectory stays interpretable.
 
 Methodology
 -----------
@@ -15,11 +18,19 @@ Methodology
   CH query time grows with distance (bigger upward search spaces);
   HL's merge-join cost is bounded by label size, so the win widens
   toward Q10 — the recorded per-bucket ratios document that shape.
-* Exactness is asserted against plain Dijkstra before any clock starts;
+  Per-query ``distance`` is backend-independent (two-pointer scan over
+  stdlib label columns), so buckets carry no backend dimension.
+* The batched A/B interleaves backends per repeat (numpy, then pure,
+  each pass) so machine drift hits both sides equally; best-of-repeats
+  suppresses GC/warm-up spikes.  ``pr2_reference`` preserves the
+  label-scan timing recorded by PR 2's benchmark run of the *same* pure
+  code path (single-shot measurement, same container family).
+* Exactness is asserted against plain Dijkstra before any clock starts,
+  and the numpy kernels are asserted equal to the pure scans —
   a fast wrong oracle is worthless.
-* ``--check`` runs the build + exactness phase only and writes a
-  timing-free JSON — what CI runs, immune to noisy-runner flake, while
-  still proving the index builds and answers correctly.
+* ``--check`` runs the build + exactness + kernel-parity phase only and
+  writes a timing-free JSON — what CI runs (on both the numpy and the
+  no-numpy matrix leg), immune to noisy-runner flake.
 
 Run directly (``python benchmarks/test_hl_speed.py``) to refresh
 ``BENCH_hl.json``; under pytest the same measurement doubles as a
@@ -34,7 +45,9 @@ import sys
 import time
 from pathlib import Path
 
+from repro import backend
 from repro.baselines import CHEngine, HubLabelIndex, QueryEngine
+from repro.bench.harness import environment_metadata
 from repro.datasets import dataset, generate_workloads
 from repro.graph.traversal import distance_query
 
@@ -42,6 +55,20 @@ INF = float("inf")
 DATASET = "NH"
 REPEATS = 7
 TABLE_SIDE = 100
+O2M_TARGETS = 1000
+
+#: PR 2's committed measurement of the pure label-scan distance_table
+#: (BENCH_hl.json as of PR 2: single-shot 100x100 on NH, same container
+#: family) — the baseline the ISSUE's ">=5x" targets.  A post-PR-3
+#: checkout can still re-measure the pure path live (it is kept as the
+#: fallback), so unlike PR 1's seed_reference this number *is*
+#: reproducible — it is pinned here so the recorded trajectory survives
+#: machine drift between benchmark runs.
+PR2_REFERENCE = {
+    "table_100x100_label_scan_s": 0.0028,
+    "captured": "PR 2 benchmark run, NH, single-shot 100x100 "
+    "distance_table via the pure label-scan path (rng seed 23)",
+}
 
 
 def _mean_us(fn, pairs, repeats=REPEATS, min_sample_s=0.005):
@@ -63,6 +90,24 @@ def _mean_us(fn, pairs, repeats=REPEATS, min_sample_s=0.005):
     return best / len(pairs) * 1e6
 
 
+def _best_s(fn, repeats=REPEATS):
+    """Best-of-``repeats`` wall time of one call."""
+    best = INF
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _assert_tables_match(fast, slow):
+    for fast_row, slow_row in zip(fast, slow):
+        for a, b in zip(fast_row, slow_row):
+            if a == b:
+                continue  # also covers inf == inf
+            assert abs(a - b) <= 1e-9 * max(1.0, b), (a, b)
+
+
 def build_and_verify():
     """Build CH + HL on one shared hierarchy; assert HL answers exactly."""
     graph = dataset(DATASET)
@@ -82,16 +127,104 @@ def build_and_verify():
             got = hl.distance(s, t)
             assert abs(got - want) <= 1e-9 * max(1.0, want), (s, t, got, want)
             checked += 1
+
+    # Kernel parity: the vectorised batch paths must equal PR 2's scans.
+    rng = random.Random(41)
+    sources = [rng.randrange(graph.n) for _ in range(20)]
+    targets = [rng.randrange(graph.n) for _ in range(20)] + [sources[0]]
+    if backend.HAS_NUMPY:
+        with backend.forced("numpy"):
+            assert hl.one_to_many(sources[0], targets) == hl._one_to_many_pure(
+                sources[0], targets
+            )
+            assert hl.distance_table(sources, targets) == hl._distance_table_pure(
+                sources, targets
+            )
+
     return graph, workloads, ch, hl, {
         "dataset": DATASET,
         "n": graph.n,
         "m": graph.m,
+        "environment": environment_metadata(),
         "ch_build_s": round(ch_build_s, 3),
         "hl_label_s": round(hl_label_s, 3),
         "avg_label_entries": round(hl.average_label_size(), 2),
         "index_size": hl.index_size(),
         "exactness_checked_pairs": checked,
     }
+
+
+def _bench_batched(graph, hl):
+    """A/B the batched surface across backends (the PR 3 dimension)."""
+    rng = random.Random(23)
+    sources = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    targets = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    o2m_targets = [rng.randrange(graph.n) for _ in range(O2M_TARGETS)]
+
+    def dijkstra_fallback():
+        # The true index-free fallback: one target-pruned Dijkstra per
+        # source.  (Calling QueryEngine.distance_table on an HL index
+        # would route through HL's *overridden* one_to_many and time
+        # the label kernels, not the fallback.)
+        return [QueryEngine.one_to_many(hl, s, targets) for s in sources]
+
+    # Correctness before clocks, fallback included.
+    pure_table = hl._distance_table_pure(sources, targets)
+    _assert_tables_match(pure_table, dijkstra_fallback())
+
+    # Interleave backends per repeat so drift hits both equally.
+    table_s = {"numpy": INF, "pure-python": INF}
+    o2m_s = {"numpy": INF, "pure-python": INF}
+    for _ in range(REPEATS):
+        if backend.HAS_NUMPY:
+            with backend.forced("numpy"):
+                t0 = time.perf_counter()
+                fast = hl.distance_table(sources, targets)
+                table_s["numpy"] = min(table_s["numpy"], time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                hl.one_to_many(sources[0], o2m_targets)
+                o2m_s["numpy"] = min(o2m_s["numpy"], time.perf_counter() - t0)
+                assert fast == pure_table
+        t0 = time.perf_counter()
+        hl._distance_table_pure(sources, targets)
+        table_s["pure-python"] = min(
+            table_s["pure-python"], time.perf_counter() - t0
+        )
+        t0 = time.perf_counter()
+        hl._one_to_many_pure(sources[0], o2m_targets)
+        o2m_s["pure-python"] = min(o2m_s["pure-python"], time.perf_counter() - t0)
+
+    fallback_s = _best_s(dijkstra_fallback, repeats=3)
+
+    pr2_s = PR2_REFERENCE["table_100x100_label_scan_s"]
+    table = {
+        "shape": f"{TABLE_SIDE}x{TABLE_SIDE}",
+        "backends": {
+            name: {"seconds": round(s, 5)}
+            for name, s in table_s.items()
+            if s is not INF
+        },
+        "dijkstra_fallback_s": round(fallback_s, 4),
+        "pure_vs_fallback_speedup": round(fallback_s / table_s["pure-python"], 3),
+        "pr2_reference": PR2_REFERENCE,
+    }
+    o2m = {
+        "shape": f"1x{O2M_TARGETS}",
+        "backends": {
+            name: {"seconds": round(s, 6)}
+            for name, s in o2m_s.items()
+            if s is not INF
+        },
+    }
+    if backend.HAS_NUMPY:
+        table["numpy_vs_pure_speedup"] = round(
+            table_s["pure-python"] / table_s["numpy"], 3
+        )
+        table["numpy_vs_pr2_recorded_speedup"] = round(pr2_s / table_s["numpy"], 3)
+        o2m["numpy_vs_pure_speedup"] = round(
+            o2m_s["pure-python"] / o2m_s["numpy"], 3
+        )
+    return table, o2m
 
 
 def run_benchmark():
@@ -110,52 +243,41 @@ def run_benchmark():
             "speedup": round(ch_us / hl_us, 3),
         }
 
-    # Batched surface: 100x100 table, HL fast path vs base fallback
-    # (one truncated Dijkstra per source).
-    rng = random.Random(23)
-    sources = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
-    targets = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
-    t0 = time.perf_counter()
-    fast = hl.distance_table(sources, targets)
-    fast_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    fallback = QueryEngine.distance_table(hl, sources, targets)
-    fallback_s = time.perf_counter() - t0
-    for fast_row, fallback_row in zip(fast, fallback):
-        for a, b in zip(fast_row, fallback_row):
-            if a == b:
-                continue  # also covers inf == inf
-            assert abs(a - b) <= 1e-9 * max(1.0, b), (a, b)
+    table, o2m = _bench_batched(graph, hl)
 
     speedups = [rec["speedup"] for rec in buckets.values()]
+    headline = {
+        "min_bucket_speedup_vs_ch": min(speedups),
+        "max_bucket_speedup_vs_ch": max(speedups),
+        "note": "CH query cost grows with distance (bigger upward "
+        "search spaces); HL merge-join cost is bounded by label "
+        "size, so the ratio widens toward Q10.  Batched-surface "
+        "numbers carry the backend dimension: numpy kernels vs "
+        "PR 2's pure label scans, interleaved in-process.",
+    }
+    if backend.HAS_NUMPY:
+        headline["table_numpy_vs_pure"] = table["numpy_vs_pure_speedup"]
+        headline["table_numpy_vs_pr2_recorded"] = table[
+            "numpy_vs_pr2_recorded_speedup"
+        ]
+        headline["one_to_many_numpy_vs_pure"] = o2m["numpy_vs_pure_speedup"]
     result.update(
         {
             "method": "shared contraction hierarchy; per-bucket interleaved "
-            "A/B; best-of-%d batch means" % REPEATS,
-            "headline": {
-                "min_bucket_speedup_vs_ch": min(speedups),
-                "max_bucket_speedup_vs_ch": max(speedups),
-                "table_100x100_speedup_vs_fallback": round(fallback_s / fast_s, 3),
-                "note": "CH query cost grows with distance (bigger upward "
-                "search spaces); HL merge-join cost is bounded by label "
-                "size, so the ratio widens toward Q10",
-            },
+            "A/B; backend A/B interleaved per repeat; best-of-%d" % REPEATS,
+            "headline": headline,
             "distance_query": buckets,
-            "distance_table": {
-                "shape": f"{TABLE_SIDE}x{TABLE_SIDE}",
-                "hl_fast_path_s": round(fast_s, 4),
-                "dijkstra_fallback_s": round(fallback_s, 4),
-                "speedup": round(fallback_s / fast_s, 3),
-            },
+            "distance_table": table,
+            "one_to_many": o2m,
         }
     )
     return result
 
 
 def run_check():
-    """CI mode: build + exactness only — no timing, no flake."""
+    """CI mode: build + exactness + kernel parity — no timing, no flake."""
     _, _, _, hl, result = build_and_verify()
-    result["mode"] = "check (build + exactness only; timings omitted)"
+    result["mode"] = "check (build + exactness + kernel parity; timings omitted)"
     return result
 
 
@@ -174,9 +296,10 @@ def write_json(result, path=None):
 # Pytest guard
 # ----------------------------------------------------------------------
 def test_hl_speed():
-    """HL must beat CH in every distance bucket and the batched fast
-    path must beat the Dijkstra fallback — conservative margins, since
-    CI machines are noisy; the recorded JSON carries the real numbers."""
+    """HL must beat CH in every distance bucket, the batched pure path
+    must beat the Dijkstra fallback, and the numpy kernels must beat the
+    pure scans — conservative margins, since CI machines are noisy; the
+    recorded JSON carries the real numbers."""
     result = run_benchmark()
     for name, rec in result["distance_query"].items():
         assert rec["speedup"] > 1.0, f"{name}: {rec}"
@@ -187,7 +310,16 @@ def test_hl_speed():
         if name in ("Q8", "Q9", "Q10")
     ]
     assert long_range and max(long_range) >= 3.0, long_range
-    assert result["distance_table"]["speedup"] > 1.0, result["distance_table"]
+    table = result["distance_table"]
+    assert table["pure_vs_fallback_speedup"] > 1.0, table
+    if backend.HAS_NUMPY:
+        # Real ratios on a quiet machine run ~2-4x (table) and ~10x
+        # (one_to_many); the guard only has to catch a vectorisation
+        # path that silently fell back or regressed.
+        assert table["numpy_vs_pure_speedup"] >= 1.3, table
+        assert result["one_to_many"]["numpy_vs_pure_speedup"] >= 3.0, result[
+            "one_to_many"
+        ]
     # The committed BENCH_hl.json is refreshed explicitly (run this file
     # directly on a quiet machine); CI gates, it does not overwrite.
 

@@ -1,0 +1,282 @@
+"""Array-kernel backend selection: NumPy acceleration with a pure fallback.
+
+The paper's practical thesis is that road-network oracles win by keeping
+hot state in flat, cache-friendly arrays.  The PR-1 CSR substrate and the
+PR-2 hub labels realised that layout in pure CPython; this module lets the
+same flat columns be *NumPy* arrays when ``numpy`` is importable, so that
+the batched kernels (label merge-joins, distance tables, reverse-CSR
+derivation, bundle I/O) run as vectorised C loops instead of one CPython
+bytecode per element — while every algorithm keeps a tested pure-Python
+path for deployments without the optional ``fast`` extra.
+
+Contract
+--------
+* **The backend never changes answers.**  Both backends execute the same
+  algorithms over the same values in the same order; only the container
+  type of the flat columns and the inner-loop engine differ.  The
+  hypothesis suite in ``tests/test_backend_parity.py`` pins this.
+* **Selection** happens once at import: ``numpy`` when importable, else
+  ``pure-python``.  The ``REPRO_BACKEND`` environment variable overrides
+  (``numpy`` / ``pure``), and :func:`forced` flips the active backend for
+  a scope — which is how the parity tests and the A/B benchmarks run both
+  paths in one process.
+* **Columns** are ``int64`` / ``float64`` either way: ``numpy.ndarray``
+  under the numpy backend, ``array('q')`` / ``array('d')`` under the pure
+  one.  Both expose ``tobytes`` / ``tolist`` / slicing, and the stdlib
+  arrays support the buffer protocol, so :func:`np_view_i64` /
+  :func:`np_view_f64` give *zero-copy* NumPy views over either storage —
+  a kernel can vectorise over columns a pure build produced.
+* **Bytes on disk are identical** between backends (little-endian int64 /
+  IEEE float64 in both containers), so serialized graphs, indexes and
+  bundles round-trip byte-for-byte regardless of which backend wrote
+  them (:mod:`repro.core.serialize`).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import platform
+from array import array
+from contextlib import contextmanager
+from typing import Iterator
+
+try:  # the optional "fast" extra — never required
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "HAS_NUMPY",
+    "NUMPY",
+    "PURE",
+    "np",
+    "active",
+    "use_numpy",
+    "force_backend",
+    "forced",
+    "describe",
+    "index_zeros",
+    "float_zeros",
+    "index_col",
+    "float_col",
+    "as_index_col",
+    "as_float_col",
+    "index_col_from_bytes",
+    "float_col_from_bytes",
+    "col_bytes",
+    "col_sum",
+    "np_view_i64",
+    "np_view_f64",
+]
+
+HAS_NUMPY = np is not None
+
+#: Canonical backend names, as recorded in BENCH_*.json metadata.
+NUMPY = "numpy"
+PURE = "pure-python"
+
+
+def _normalise(name: str) -> str:
+    key = str(name).strip().lower()
+    if key in ("numpy", "np", "fast"):
+        return NUMPY
+    if key in ("pure", "pure-python", "python", "pure_python"):
+        return PURE
+    raise ValueError(
+        f"unknown backend {name!r}; choose 'numpy' or 'pure-python'"
+    )
+
+
+def _initial() -> str:
+    env = os.environ.get("REPRO_BACKEND", "").strip()
+    if env:
+        choice = _normalise(env)
+        if choice == NUMPY and not HAS_NUMPY:
+            raise ImportError(
+                "REPRO_BACKEND=numpy but numpy is not importable; "
+                "install the 'fast' extra (pip install repro-roadnet[fast])"
+            )
+        return choice
+    return NUMPY if HAS_NUMPY else PURE
+
+
+_ACTIVE = _initial()
+
+
+def active() -> str:
+    """Name of the active backend: ``"numpy"`` or ``"pure-python"``."""
+    return _ACTIVE
+
+
+def use_numpy() -> bool:
+    """True when the numpy kernels are the live code path."""
+    return _ACTIVE == NUMPY
+
+
+def force_backend(name: str) -> str:
+    """Switch the active backend; returns the previous one.
+
+    Meant for tests and A/B benchmarks.  Objects built under the old
+    backend keep their storage type and stay fully queryable — dispatch
+    happens per call, not per object.
+    """
+    global _ACTIVE
+    choice = _normalise(name)
+    if choice == NUMPY and not HAS_NUMPY:
+        raise RuntimeError("cannot force the numpy backend: numpy is not importable")
+    previous = _ACTIVE
+    _ACTIVE = choice
+    return previous
+
+
+@contextmanager
+def forced(name: str) -> Iterator[str]:
+    """Context manager running a block under a specific backend."""
+    previous = force_backend(name)
+    try:
+        yield _ACTIVE
+    finally:
+        force_backend(previous)
+
+
+def describe() -> dict:
+    """Environment metadata for BENCH_*.json records.
+
+    Identifies the backend (with the numpy version when live), the
+    CPython version and the platform, so perf trajectories recorded
+    across PRs stay interpretable.
+    """
+    return {
+        "backend": (
+            f"numpy {np.__version__}" if use_numpy() else PURE  # type: ignore[union-attr]
+        ),
+        "numpy_available": HAS_NUMPY,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Column constructors (int64 / float64 flat columns of the active backend)
+# ----------------------------------------------------------------------
+def index_zeros(n: int):
+    """A zero-filled int64 column of length ``n``."""
+    if use_numpy():
+        return np.zeros(n, dtype=np.int64)
+    return array("q", bytes(8 * n))
+
+
+def float_zeros(n: int):
+    """A zero-filled float64 column of length ``n``."""
+    if use_numpy():
+        return np.zeros(n, dtype=np.float64)
+    return array("d", bytes(8 * n))
+
+
+def index_col(values=()):
+    """An int64 column holding ``values`` (any iterable of ints)."""
+    if use_numpy():
+        return np.asarray(list(values), dtype=np.int64)
+    return array("q", values)
+
+
+def float_col(values=()):
+    """A float64 column holding ``values`` (any iterable of floats)."""
+    if use_numpy():
+        return np.asarray(list(values), dtype=np.float64)
+    return array("d", values)
+
+
+def as_index_col(col):
+    """Normalise an existing int64 column to the active backend.
+
+    No-op (no copy) when the container already matches; otherwise one
+    C-speed memcpy through the buffer protocol.
+    """
+    if use_numpy():
+        if isinstance(col, np.ndarray) and col.dtype == np.int64:
+            return col
+        if isinstance(col, array):
+            return np.frombuffer(col, dtype=np.int64).copy() if len(col) else np.zeros(0, np.int64)
+        return np.asarray(col, dtype=np.int64)
+    if isinstance(col, array) and col.typecode == "q":
+        return col
+    out = array("q")
+    out.frombytes(col_bytes(col) if _has_buffer(col) else array("q", col).tobytes())
+    return out
+
+
+def as_float_col(col):
+    """Normalise an existing float64 column to the active backend."""
+    if use_numpy():
+        if isinstance(col, np.ndarray) and col.dtype == np.float64:
+            return col
+        if isinstance(col, array):
+            return np.frombuffer(col, dtype=np.float64).copy() if len(col) else np.zeros(0, np.float64)
+        return np.asarray(col, dtype=np.float64)
+    if isinstance(col, array) and col.typecode == "d":
+        return col
+    out = array("d")
+    out.frombytes(col_bytes(col) if _has_buffer(col) else array("d", col).tobytes())
+    return out
+
+
+def _has_buffer(col) -> bool:
+    return isinstance(col, array) or (HAS_NUMPY and isinstance(col, np.ndarray))
+
+
+# ----------------------------------------------------------------------
+# Bytes <-> columns (the serialize fast path; format is backend-invariant)
+# ----------------------------------------------------------------------
+def col_bytes(col) -> bytes:
+    """The column's raw little-endian bytes (both containers agree)."""
+    return col.tobytes()
+
+
+def index_col_from_bytes(buf: bytes):
+    """Rebuild an int64 column of the active backend from raw bytes."""
+    if use_numpy():
+        return np.frombuffer(buf, dtype=np.int64)
+    return array("q", buf)
+
+
+def float_col_from_bytes(buf: bytes):
+    """Rebuild a float64 column of the active backend from raw bytes."""
+    if use_numpy():
+        return np.frombuffer(buf, dtype=np.float64)
+    return array("d", buf)
+
+
+# ----------------------------------------------------------------------
+# Small backend-agnostic reductions / views
+# ----------------------------------------------------------------------
+def col_sum(col) -> float:
+    """Sum a float column, identically on both backends.
+
+    ``ndarray.sum`` uses pairwise summation while builtin ``sum`` adds
+    left to right — last-ulp divergence that would break the
+    "backend never changes answers" contract.  ``math.fsum`` over one
+    C-converted list is exactly rounded, so both containers produce the
+    same float (and a more accurate one than either naive order).
+    """
+    return math.fsum(col.tolist())
+
+
+def np_view_i64(col):
+    """Zero-copy numpy int64 view over a column of either container.
+
+    Only callable when numpy is importable (kernels check
+    :func:`use_numpy` before reaching for views).
+    """
+    if isinstance(col, np.ndarray):
+        return col
+    return np.frombuffer(col, dtype=np.int64)
+
+
+def np_view_f64(col):
+    """Zero-copy numpy float64 view over a column of either container."""
+    if isinstance(col, np.ndarray):
+        return col
+    return np.frombuffer(col, dtype=np.float64)

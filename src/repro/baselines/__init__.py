@@ -2,7 +2,7 @@
 
 from .alt import ALTEngine, select_landmarks_farthest
 from .astar import AStarEngine, max_speed
-from .base import QueryEngine
+from .base import DistanceCache, QueryEngine
 from .ch import CHEngine, ContractionResult, contract_graph
 from .dijkstra import BidirectionalEngine, DijkstraEngine
 from .hl import HubLabelIndex
@@ -10,6 +10,7 @@ from .silc import SILCEngine
 from .tnr import TNREngine
 
 __all__ = [
+    "DistanceCache",
     "QueryEngine",
     "DijkstraEngine",
     "BidirectionalEngine",

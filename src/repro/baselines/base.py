@@ -19,15 +19,83 @@ per batch, see :mod:`repro.baselines.hl`).
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Iterable, List, Optional, Sequence
 
 from ..graph.graph import Graph
 from ..graph.path import Path
 from ..graph.traversal import dijkstra_distances
 
-__all__ = ["QueryEngine"]
+__all__ = ["DistanceCache", "QueryEngine"]
 
 INF = float("inf")
+
+
+class DistanceCache:
+    """Bounded LRU over ``(source, target) -> distance`` with counters.
+
+    Distance queries are pure functions of the endpoint pair (indexes
+    are immutable once built), so caching is free accuracy-wise; what it
+    buys is the skewed traffic a real service sees — hot station pairs,
+    repeated ETA checks — where even a ~2 µs hub-label query loses to a
+    dict hit.  The cache is **opt-in** per engine instance
+    (:meth:`QueryEngine.enable_distance_cache`) because uniformly random
+    workloads, like most benchmarks, would only pay the bookkeeping.
+
+    ``hits`` / ``misses`` are exposed (and in :meth:`stats`) so a
+    serving layer can monitor whether the cache is earning its memory.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    def __init__(self, maxsize: int = 65536) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key):
+        """The cached value, refreshed as most-recent; None on miss.
+
+        Distances are floats (``inf`` included), never None, so None is
+        an unambiguous miss marker.
+        """
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key, value) -> None:
+        """Insert a freshly computed value, evicting the oldest entry."""
+        data = self._data
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, hit_rate, size, maxsize."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+        }
 
 
 class QueryEngine(abc.ABC):
@@ -45,6 +113,49 @@ class QueryEngine(abc.ABC):
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
+
+    # ------------------------------------------------------------------
+    # Opt-in result caching (ROADMAP: "Result caching")
+    # ------------------------------------------------------------------
+    def enable_distance_cache(self, maxsize: int = 65536) -> DistanceCache:
+        """Wrap :meth:`distance` in a bounded LRU; returns the cache.
+
+        The wrapper shadows the engine's ``distance`` on *this instance*
+        only — the class and every other instance are untouched, and
+        :meth:`disable_distance_cache` restores the direct method.
+        Re-enabling replaces the previous cache (fresh counters).
+        Batched queries (:meth:`one_to_many` / :meth:`distance_table`)
+        deliberately bypass the cache: they amortise per-source work
+        already, and flooding the LRU with one table's pairs would evict
+        the hot point-query pairs the cache exists for.
+        """
+        self.disable_distance_cache()
+        cache = DistanceCache(maxsize)
+        inner = self.distance  # the subclass's bound method
+        lookup, store = cache.lookup, cache.store
+
+        def cached_distance(source: int, target: int) -> float:
+            key = (source, target)
+            value = lookup(key)
+            if value is None:
+                value = inner(source, target)
+                store(key, value)
+            return value
+
+        self.distance = cached_distance  # type: ignore[method-assign]
+        self._distance_cache = cache
+        return cache
+
+    def disable_distance_cache(self) -> None:
+        """Remove the cache wrapper (no-op when none is active)."""
+        if getattr(self, "_distance_cache", None) is not None:
+            del self.distance  # uncovers the class's method
+            self._distance_cache = None
+
+    @property
+    def distance_cache(self) -> Optional[DistanceCache]:
+        """The active :class:`DistanceCache`, or None."""
+        return getattr(self, "_distance_cache", None)
 
     # ------------------------------------------------------------------
     # Queries

@@ -9,9 +9,10 @@ paper-style tables and series.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Sequence, Tuple
 
+from .. import backend
 from ..baselines import (
     ALTEngine,
     AStarEngine,
@@ -31,9 +32,20 @@ __all__ = [
     "BuildRecord",
     "QueryRecord",
     "build_engine",
+    "environment_metadata",
     "time_distance_batch",
     "time_path_batch",
 ]
+
+
+def environment_metadata() -> Dict[str, object]:
+    """Backend + interpreter + platform identification for BENCH JSONs.
+
+    Every ``BENCH_*.json`` embeds this so the perf trajectory recorded
+    across PRs stays interpretable: a regression that is really a
+    backend or interpreter change should be visible as one.
+    """
+    return backend.describe()
 
 #: Engine name -> constructor.  Every constructor takes the graph plus
 #: engine-specific keyword arguments.
@@ -66,6 +78,10 @@ class BuildRecord:
     m: int
     build_seconds: float
     index_size: int
+    #: Array backend active during the build ("numpy" / "pure-python") —
+    #: the new benchmark dimension; numpy-vs-pure records sit side by
+    #: side in the BENCH JSONs, distinguished by this field.
+    backend: str = field(default_factory=backend.active)
 
 
 @dataclass(frozen=True)
@@ -78,6 +94,8 @@ class QueryRecord:
     kind: str  # "distance" | "path"
     queries: int
     mean_us: float
+    #: Array backend active while the batch ran (see BuildRecord).
+    backend: str = field(default_factory=backend.active)
 
     @property
     def total_seconds(self) -> float:

@@ -48,6 +48,12 @@ plus the shortcut-middle triples that path unpacking needs::
 :func:`save_bundle` / :func:`load_bundle` concatenate a graph section
 with an index section (AH or HL — the magic picks the loader) so one
 file round-trips a deployable (graph, index) pair.
+
+All flat sections move as whole-column ``tobytes`` blocks (loaded back
+with ``frombuffer`` under the numpy backend) — no per-entry ``struct``
+packing anywhere on the fast paths, and the same bytes regardless of
+which :mod:`repro.backend` produced the columns, so bundles are
+byte-identical and freely interchangeable between backends.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ import struct
 from array import array
 from typing import BinaryIO, List, Optional, Tuple, Union
 
+from .. import backend
 from ..baselines.ch import ContractionResult
 from ..baselines.hl import HubLabelIndex
 from ..graph.graph import Graph
@@ -82,6 +89,52 @@ _FLAG_PROXIMITY = 1
 _FLAG_STALL = 2
 
 
+# ----------------------------------------------------------------------
+# Flat-section I/O: tobytes / frombytes on whole columns
+# ----------------------------------------------------------------------
+# Every flat section moves through ``col.tobytes()`` / ``fh.read`` as one
+# contiguous block: no per-entry ``struct`` packing, works with any
+# file-like object (``array.tofile`` needed a real file under numpy), and
+# — because stdlib arrays and numpy arrays serialise int64/float64 to the
+# same little-endian bytes — the on-disk format is *backend-invariant*:
+# bundles written under either backend are byte-identical
+# (``tests/test_backend_parity.py`` pins this).
+def _read_exact(fh: BinaryIO, nbytes: int) -> bytes:
+    buf = fh.read(nbytes)
+    if len(buf) != nbytes:
+        raise EOFError(
+            f"truncated section: wanted {nbytes} bytes, got {len(buf)}"
+        )
+    return buf
+
+
+def _write_col(fh: BinaryIO, col) -> None:
+    fh.write(col.tobytes())
+
+
+def _read_i64_col(fh: BinaryIO, count: int):
+    """An int64 column of the *active* backend, straight off the bytes."""
+    return backend.index_col_from_bytes(_read_exact(fh, 8 * count))
+
+
+def _read_f64_col(fh: BinaryIO, count: int):
+    """A float64 column of the *active* backend, straight off the bytes."""
+    return backend.float_col_from_bytes(_read_exact(fh, 8 * count))
+
+
+def _read_q_array(fh: BinaryIO, count: int) -> array:
+    """A stdlib ``array('q')`` (label columns stay stdlib, see hl.py)."""
+    return array("q", _read_exact(fh, 8 * count))
+
+
+def _read_d_array(fh: BinaryIO, count: int) -> array:
+    return array("d", _read_exact(fh, 8 * count))
+
+
+def _read_i32_array(fh: BinaryIO, count: int) -> array:
+    return array("i", _read_exact(fh, 4 * count))
+
+
 def _write_adjacency(
     fh: BinaryIO, adjacency: List[List[Tuple[int, float, Optional[int]]]]
 ) -> None:
@@ -94,34 +147,36 @@ def _write_adjacency(
             targets.append(v)
             weights.append(w)
             middles.append(-1 if mid is None else mid)
-    counts.tofile(fh)
+    _write_col(fh, counts)
     fh.write(struct.pack("<q", len(targets)))
-    targets.tofile(fh)
-    weights.tofile(fh)
-    middles.tofile(fh)
+    _write_col(fh, targets)
+    _write_col(fh, weights)
+    _write_col(fh, middles)
 
 
 def _read_adjacency(
     fh: BinaryIO, n: int
 ) -> List[List[Tuple[int, float, Optional[int]]]]:
-    counts = array("i")
-    counts.fromfile(fh, n)
-    (total,) = struct.unpack("<q", fh.read(8))
-    targets = array("i")
-    targets.fromfile(fh, total)
-    weights = array("d")
-    weights.fromfile(fh, total)
-    middles = array("i")
-    middles.fromfile(fh, total)
+    counts = _read_i32_array(fh, n)
+    (total,) = struct.unpack("<q", _read_exact(fh, 8))
+    # tolist() up front so the tuple-building loop below handles plain
+    # Python ints/floats only (one C conversion pass per column).
+    targets = _read_i32_array(fh, total).tolist()
+    weights = _read_d_array(fh, total).tolist()
+    middles = _read_i32_array(fh, total).tolist()
     adjacency: List[List[Tuple[int, float, Optional[int]]]] = []
     pos = 0
     for count in counts:
-        adj = []
-        for _ in range(count):
-            mid = middles[pos]
-            adj.append((targets[pos], weights[pos], None if mid < 0 else mid))
-            pos += 1
-        adjacency.append(adj)
+        nxt = pos + count
+        adjacency.append(
+            [
+                (v, w, None if mid < 0 else mid)
+                for v, w, mid in zip(
+                    targets[pos:nxt], weights[pos:nxt], middles[pos:nxt]
+                )
+            ]
+        )
+        pos = nxt
     return adjacency
 
 
@@ -148,8 +203,8 @@ def save_index(index: AHIndex, sink: Union[str, BinaryIO]) -> None:
                 pyramid.side,
             )
         )
-        array("i", index.levels).tofile(fh)
-        array("i", res.rank).tofile(fh)
+        _write_col(fh, array("i", index.levels))
+        _write_col(fh, array("i", res.rank))
         _write_adjacency(fh, res.up_out)
         _write_adjacency(fh, res.up_in)
     finally:
@@ -183,10 +238,8 @@ def _load_index_body(fh: BinaryIO, graph: Graph) -> AHIndex:
         raise ValueError(
             f"index was built for {n} nodes but the graph has {graph.n}"
         )
-    levels = array("i")
-    levels.fromfile(fh, n)
-    rank = array("i")
-    rank.fromfile(fh, n)
+    levels = _read_i32_array(fh, n)
+    rank = _read_i32_array(fh, n)
     up_out = _read_adjacency(fh, n)
     up_in = _read_adjacency(fh, n)
 
@@ -244,23 +297,23 @@ def index_bytes(index: Union[AHIndex, HubLabelIndex]) -> int:
 def _write_label_side(
     fh: BinaryIO, head: array, hub: array, dist: array, parent: array
 ) -> None:
-    head.tofile(fh)
+    _write_col(fh, head)
     fh.write(struct.pack("<q", len(hub)))
-    hub.tofile(fh)
-    dist.tofile(fh)
-    parent.tofile(fh)
+    _write_col(fh, hub)
+    _write_col(fh, dist)
+    _write_col(fh, parent)
 
 
 def _read_label_side(fh: BinaryIO, n: int) -> Tuple[array, array, array, array]:
-    head = array("q")
-    head.fromfile(fh, n + 1)
-    (total,) = struct.unpack("<q", fh.read(8))
-    hub = array("q")
-    hub.fromfile(fh, total)
-    dist = array("d")
-    dist.fromfile(fh, total)
-    parent = array("q")
-    parent.fromfile(fh, total)
+    # Label columns stay stdlib arrays on both backends (the per-query
+    # two-pointer merge-join indexes them scalar-by-scalar; the numpy
+    # kernels wrap them in zero-copy views) — so the read path is
+    # backend-independent too.
+    head = _read_q_array(fh, n + 1)
+    (total,) = struct.unpack("<q", _read_exact(fh, 8))
+    hub = _read_q_array(fh, total)
+    dist = _read_d_array(fh, total)
+    parent = _read_q_array(fh, total)
     return head, hub, dist, parent
 
 
@@ -284,16 +337,27 @@ def save_hl_index(index: HubLabelIndex, sink: Union[str, BinaryIO]) -> None:
         )
         middle = index._middle
         fh.write(struct.pack("<q", len(middle)))
-        a_col = array("q")
-        b_col = array("q")
-        mid_col = array("q")
-        for (a, b), mid in middle.items():
-            a_col.append(a)
-            b_col.append(b)
-            mid_col.append(mid)
-        a_col.tofile(fh)
-        b_col.tofile(fh)
-        mid_col.tofile(fh)
+        if backend.use_numpy():
+            np = backend.np
+            pairs = np.fromiter(
+                middle.keys(), dtype=np.dtype((np.int64, 2)), count=len(middle)
+            ).reshape(len(middle), 2)
+            _write_col(fh, np.ascontiguousarray(pairs[:, 0]))
+            _write_col(fh, np.ascontiguousarray(pairs[:, 1]))
+            _write_col(
+                fh, np.fromiter(middle.values(), dtype=np.int64, count=len(middle))
+            )
+        else:
+            a_col = array("q")
+            b_col = array("q")
+            mid_col = array("q")
+            for (a, b), mid in middle.items():
+                a_col.append(a)
+                b_col.append(b)
+                mid_col.append(mid)
+            _write_col(fh, a_col)
+            _write_col(fh, b_col)
+            _write_col(fh, mid_col)
     finally:
         if own:
             fh.close()
@@ -327,21 +391,17 @@ def _load_hl_body(fh: BinaryIO, graph: Graph) -> HubLabelIndex:
         )
     fwd = _read_label_side(fh, n)
     bwd = _read_label_side(fh, n)
-    (mcount,) = struct.unpack("<q", fh.read(8))
-    a_col = array("q")
-    a_col.fromfile(fh, mcount)
-    b_col = array("q")
-    b_col.fromfile(fh, mcount)
-    mid_col = array("q")
-    mid_col.fromfile(fh, mcount)
+    (mcount,) = struct.unpack("<q", _read_exact(fh, 8))
+    a_col = _read_q_array(fh, mcount).tolist()
+    b_col = _read_q_array(fh, mcount).tolist()
+    mid_col = _read_q_array(fh, mcount).tolist()
 
     index = HubLabelIndex.__new__(HubLabelIndex)
     index.graph = graph
     index.fwd_head, index.fwd_hub, index.fwd_dist, index.fwd_parent = fwd
     index.bwd_head, index.bwd_hub, index.bwd_dist, index.bwd_parent = bwd
-    index._middle = {
-        (a_col[i], b_col[i]): mid_col[i] for i in range(mcount)
-    }
+    index._npv = None
+    index._middle = dict(zip(zip(a_col, b_col), mid_col))
     return index
 
 
@@ -359,14 +419,14 @@ def save_graph(graph: Graph, sink: Union[str, BinaryIO]) -> None:
     try:
         fh.write(_GRAPH_MAGIC)
         fh.write(struct.pack("<qq", graph.n, graph.m))
-        array("d", graph.xs).tofile(fh)
-        array("d", graph.ys).tofile(fh)
-        graph.out_head.tofile(fh)
-        graph.out_dst.tofile(fh)
-        graph.out_w.tofile(fh)
-        graph.in_head.tofile(fh)
-        graph.in_src.tofile(fh)
-        graph.in_w.tofile(fh)
+        _write_col(fh, array("d", graph.xs))
+        _write_col(fh, array("d", graph.ys))
+        _write_col(fh, graph.out_head)
+        _write_col(fh, graph.out_dst)
+        _write_col(fh, graph.out_w)
+        _write_col(fh, graph.in_head)
+        _write_col(fh, graph.in_src)
+        _write_col(fh, graph.in_w)
     finally:
         if own:
             fh.close()
@@ -386,23 +446,18 @@ def load_graph(source: Union[str, BinaryIO]) -> Graph:
         magic = fh.read(len(_GRAPH_MAGIC))
         if magic != _GRAPH_MAGIC:
             raise ValueError("not a CSR graph file (bad magic)")
-        n, m = struct.unpack("<qq", fh.read(16))
-        xs = array("d")
-        xs.fromfile(fh, n)
-        ys = array("d")
-        ys.fromfile(fh, n)
-        out_head = array("q")
-        out_head.fromfile(fh, n + 1)
-        out_dst = array("q")
-        out_dst.fromfile(fh, m)
-        out_w = array("d")
-        out_w.fromfile(fh, m)
-        in_head = array("q")
-        in_head.fromfile(fh, n + 1)
-        in_src = array("q")
-        in_src.fromfile(fh, m)
-        in_w = array("d")
-        in_w.fromfile(fh, m)
+        n, m = struct.unpack("<qq", _read_exact(fh, 16))
+        # Coordinates stay plain Python lists (Graph.coord hands them
+        # out directly); the six CSR columns come up in the active
+        # backend's container with zero re-derivation.
+        xs = _read_d_array(fh, n).tolist()
+        ys = _read_d_array(fh, n).tolist()
+        out_head = _read_i64_col(fh, n + 1)
+        out_dst = _read_i64_col(fh, m)
+        out_w = _read_f64_col(fh, m)
+        in_head = _read_i64_col(fh, n + 1)
+        in_src = _read_i64_col(fh, m)
+        in_w = _read_f64_col(fh, m)
     finally:
         if own:
             fh.close()

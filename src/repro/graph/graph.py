@@ -13,17 +13,24 @@ Design notes
   parallel arrays per direction.  ``out_head[u] : out_head[u + 1]``
   delimits node ``u``'s slice of ``out_dst`` / ``out_w``; the reverse
   triple ``in_head`` / ``in_src`` / ``in_w`` stores the same edges keyed
-  by target.  Flat ``array``-typed columns cost ~16 bytes per edge per
-  direction, versus ~100+ for a list of tuples, and serialize to disk as
-  single contiguous blocks (:mod:`repro.core.serialize`).
+  by target.  Flat columns cost ~16 bytes per edge per direction, versus
+  ~100+ for a list of tuples, and serialize to disk as single contiguous
+  blocks (:mod:`repro.core.serialize`).
+* The six columns are ``int64`` / ``float64`` either way, but their
+  *container* follows :mod:`repro.backend`: ``numpy.ndarray`` under the
+  numpy backend (so reverse-CSR derivation, builder packing and bundle
+  I/O vectorise), ``array('q')`` / ``array('d')`` under the pure one.
+  Both index like lists, so every scalar code path is shared.
 * Both directions are stored because the bidirectional searches used by
   FC, AH and CH traverse forward edges from the source and reverse edges
   from the target.
 * CPython iterates a list of ``(v, w)`` tuples faster than it indexes
-  flat arrays, so :attr:`out` / :attr:`inn` expose the classic adjacency
-  lists as *views derived from the CSR columns*, materialised lazily and
-  cached.  Hot query loops iterate those views; everything that stores,
-  ships, or transforms a graph works on the flat arrays.
+  flat columns (of either container), so :attr:`out` / :attr:`inn`
+  expose the classic adjacency lists as *views derived from the CSR
+  columns*, materialised lazily (one C-speed ``tolist`` per column) and
+  cached.  Hot query loops iterate those views and therefore see plain
+  Python ints/floats regardless of backend; everything that stores,
+  ships, or transforms a graph works on the flat columns.
 * Parallel edges are collapsed at build time (the minimum weight wins) so
   that ``(u, v)`` uniquely identifies an edge; the arterial-edge machinery
   of the paper identifies edges by their endpoints.
@@ -34,19 +41,32 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from .. import backend
+
 __all__ = ["Graph"]
 
 
-def _reverse_csr(
-    n: int, head: array, dst: array, wts: array
-) -> Tuple[array, array, array]:
-    """Counting-sort the forward CSR into the reverse CSR in O(n + m).
+def _reverse_csr(n: int, head, dst, wts):
+    """Derive the reverse CSR from the forward CSR in O(n + m).
 
-    No dictionaries, no per-edge tuples: one pass to histogram in-degrees,
-    one pass to scatter.  Rows of the result are ordered by source node
-    (we scan sources in ascending order), matching the builder's ordering
-    of the forward rows by target.
+    Rows of the result are ordered by source node, matching the builder's
+    ordering of the forward rows by target.  Under the numpy backend this
+    is a histogram + stable argsort (all C); the pure path is the same
+    counting sort spelled as two scalar passes — no dictionaries, no
+    per-edge tuples either way.
     """
+    if backend.use_numpy():
+        np = backend.np
+        dst_v = backend.np_view_i64(dst)
+        rhead = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst_v, minlength=n), out=rhead[1:])
+        # Stable sort by target preserves the ascending-source order of
+        # the forward rows inside each target's run.
+        order = np.argsort(dst_v, kind="stable")
+        src_of_edge = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(backend.np_view_i64(head))
+        )
+        return rhead, src_of_edge[order], backend.np_view_f64(wts)[order]
     m = len(dst)
     rhead = array("q", bytes(8 * (n + 1)))
     for v in dst:
@@ -127,23 +147,29 @@ class Graph:
         self,
         xs: List[float],
         ys: List[float],
-        out_head: array,
-        out_dst: array,
-        out_w: array,
-        in_head: array = None,
-        in_src: array = None,
-        in_w: array = None,
+        out_head,
+        out_dst,
+        out_w,
+        in_head=None,
+        in_src=None,
+        in_w=None,
     ) -> None:
         self.xs = xs
         self.ys = ys
-        self.out_head = out_head
-        self.out_dst = out_dst
-        self.out_w = out_w
+        # Normalise the columns to the active backend's container (a
+        # no-op when they already match, one memcpy otherwise), so a
+        # graph's storage is always consistent with repro.backend.active()
+        # at construction time.
+        self.out_head = backend.as_index_col(out_head)
+        self.out_dst = backend.as_index_col(out_dst)
+        self.out_w = backend.as_float_col(out_w)
         if in_head is None:
-            in_head, in_src, in_w = _reverse_csr(len(xs), out_head, out_dst, out_w)
-        self.in_head = in_head
-        self.in_src = in_src
-        self.in_w = in_w
+            in_head, in_src, in_w = _reverse_csr(
+                len(xs), self.out_head, self.out_dst, self.out_w
+            )
+        self.in_head = backend.as_index_col(in_head)
+        self.in_src = backend.as_index_col(in_src)
+        self.in_w = backend.as_float_col(in_w)
         self._out: List[List[Tuple[int, float]]] = None
         self._inn: List[List[Tuple[int, float]]] = None
         self._weight: Dict[Tuple[int, int], float] = None
@@ -154,20 +180,21 @@ class Graph:
         cls,
         xs: Sequence[float],
         ys: Sequence[float],
-        out_head: array,
-        out_dst: array,
-        out_w: array,
-        in_head: array = None,
-        in_src: array = None,
-        in_w: array = None,
+        out_head,
+        out_dst,
+        out_w,
+        in_head=None,
+        in_src=None,
+        in_w=None,
     ) -> "Graph":
         """Wrap already-packed CSR columns without re-validating them.
 
         The fast construction path used by :class:`GraphBuilder`,
-        :func:`Graph.reversed` and :mod:`repro.core.serialize`.  When the
-        reverse triple is omitted it is derived by counting sort; when
-        given (e.g. loaded from disk) it is trusted as-is and no
-        re-derivation happens.
+        :func:`Graph.reversed` and :mod:`repro.core.serialize`.  Columns
+        may be stdlib ``array``\\ s or numpy arrays; they are normalised
+        to the active backend's container.  When the reverse triple is
+        omitted it is derived by counting sort; when given (e.g. loaded
+        from disk) it is trusted as-is and no re-derivation happens.
         """
         g = cls.__new__(cls)
         g._init_from_csr(
@@ -196,7 +223,12 @@ class Graph:
         hot search loops consume."""
         view = self._out
         if view is None:
-            head, dst, wts = self.out_head, self.out_dst, self.out_w
+            # tolist() converts each column to plain Python ints/floats in
+            # one C pass — the hot loops must never see numpy scalars,
+            # whose boxed arithmetic is several times slower.
+            head = self.out_head.tolist()
+            dst = self.out_dst.tolist()
+            wts = self.out_w.tolist()
             view = [
                 list(zip(dst[head[u] : head[u + 1]], wts[head[u] : head[u + 1]]))
                 for u in range(len(self.xs))
@@ -210,7 +242,9 @@ class Graph:
         of ``(u, w)`` pairs for edges ``u -> v``."""
         view = self._inn
         if view is None:
-            head, src, wts = self.in_head, self.in_src, self.in_w
+            head = self.in_head.tolist()
+            src = self.in_src.tolist()
+            wts = self.in_w.tolist()
             view = [
                 list(zip(src[head[v] : head[v + 1]], wts[head[v] : head[v + 1]]))
                 for v in range(len(self.xs))
@@ -227,8 +261,14 @@ class Graph:
         return self.xs[u], self.ys[u]
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
-        """Yield every directed edge as ``(u, v, w)`` straight off CSR."""
-        head, dst, wts = self.out_head, self.out_dst, self.out_w
+        """Yield every directed edge as ``(u, v, w)`` straight off CSR.
+
+        The columns are converted once via ``tolist`` so callers see
+        plain Python ints/floats on both backends.
+        """
+        head = self.out_head.tolist()
+        dst = self.out_dst.tolist()
+        wts = self.out_w.tolist()
         for u in range(len(self.xs)):
             for e in range(head[u], head[u + 1]):
                 yield u, dst[e], wts[e]
@@ -237,7 +277,9 @@ class Graph:
         table = self._weight
         if table is None:
             table = {}
-            head, dst, wts = self.out_head, self.out_dst, self.out_w
+            head = self.out_head.tolist()
+            dst = self.out_dst.tolist()
+            wts = self.out_w.tolist()
             for u in range(len(self.xs)):
                 for e in range(head[u], head[u + 1]):
                     table[(u, dst[e])] = wts[e]
@@ -257,15 +299,15 @@ class Graph:
 
     def out_degree(self, u: int) -> int:
         """Number of outgoing edges of ``u``."""
-        return self.out_head[u + 1] - self.out_head[u]
+        return int(self.out_head[u + 1] - self.out_head[u])
 
     def in_degree(self, u: int) -> int:
         """Number of incoming edges of ``u``."""
-        return self.in_head[u + 1] - self.in_head[u]
+        return int(self.in_head[u + 1] - self.in_head[u])
 
     def degree(self, u: int) -> int:
         """Total degree (in + out) of ``u``."""
-        return (
+        return int(
             self.out_head[u + 1]
             - self.out_head[u]
             + self.in_head[u + 1]
@@ -319,7 +361,7 @@ class Graph:
 
     def total_weight(self) -> float:
         """Sum of all edge weights; handy for perturbation bookkeeping."""
-        return sum(self.out_w)
+        return backend.col_sum(self.out_w)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self.n}, m={self.m})"

@@ -106,8 +106,8 @@ def analyze_network(graph: Graph) -> NetworkReport:
         max_out_degree=max((graph.out_degree(u) for u in graph.nodes()), default=0),
         max_in_degree=max((graph.in_degree(u) for u in graph.nodes()), default=0),
         max_degree=graph.max_degree(),
-        min_weight=min(weights) if weights else 0.0,
-        max_weight=max(weights) if weights else 0.0,
+        min_weight=float(min(weights)) if len(weights) else 0.0,
+        max_weight=float(max(weights)) if len(weights) else 0.0,
         weakly_connected=_weakly_connected(graph),
         strongly_connected=strongly_connected(graph),
         linf_diameter=graph.linf_diameter() if graph.n else 0.0,

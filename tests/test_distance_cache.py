@@ -1,0 +1,123 @@
+"""Tests for the opt-in LRU distance cache (ROADMAP "Result caching")."""
+
+import pytest
+
+from repro.baselines import DijkstraEngine, DistanceCache, HubLabelIndex
+from repro.datasets import grid_city
+from repro.graph.traversal import distance_query
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_city(7, 7, seed=4)
+
+
+class TestDistanceCacheUnit:
+    def test_lru_eviction_order(self):
+        cache = DistanceCache(maxsize=2)
+        cache.store((0, 1), 1.0)
+        cache.store((0, 2), 2.0)
+        assert cache.lookup((0, 1)) == 1.0  # refreshes (0, 1)
+        cache.store((0, 3), 3.0)  # evicts (0, 2), the LRU entry
+        assert cache.lookup((0, 2)) is None
+        assert cache.lookup((0, 1)) == 1.0
+        assert cache.lookup((0, 3)) == 3.0
+        assert len(cache) == 2
+
+    def test_counters_and_stats(self):
+        cache = DistanceCache(maxsize=8)
+        assert cache.lookup((1, 2)) is None
+        cache.store((1, 2), 5.0)
+        assert cache.lookup((1, 2)) == 5.0
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["size"] == 1
+        assert stats["maxsize"] == 8
+        cache.clear()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0, "maxsize": 8,
+        }
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            DistanceCache(maxsize=0)
+
+
+class TestEngineIntegration:
+    def test_answers_unchanged_and_counted(self, graph):
+        engine = DijkstraEngine(graph)
+        cache = engine.enable_distance_cache(maxsize=64)
+        pairs = [(0, graph.n - 1), (3, 17), (0, graph.n - 1), (3, 17)]
+        for s, t in pairs:
+            assert engine.distance(s, t) == pytest.approx(
+                distance_query(graph, s, t)
+            )
+        assert cache.hits == 2
+        assert cache.misses == 2
+        assert engine.distance_cache is cache
+
+    def test_caches_infinity(self, graph):
+        # An unreachable pair must be cached too (inf is a real answer).
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder()
+        b.add_node(0.0, 0.0)
+        b.add_node(1.0, 0.0)
+        b.add_node(2.0, 0.0)
+        b.add_edge(0, 1, 1.0)
+        g = b.build()
+        engine = DijkstraEngine(g)
+        cache = engine.enable_distance_cache()
+        assert engine.distance(0, 2) == INF
+        assert engine.distance(0, 2) == INF
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_bounded_size(self, graph):
+        engine = DijkstraEngine(graph)
+        cache = engine.enable_distance_cache(maxsize=4)
+        for t in range(10):
+            engine.distance(0, t)
+        assert len(cache) == 4
+
+    def test_disable_restores_method(self, graph):
+        engine = DijkstraEngine(graph)
+        engine.enable_distance_cache()
+        engine.disable_distance_cache()
+        assert engine.distance_cache is None
+        assert engine.distance.__func__ is DijkstraEngine.distance
+        # idempotent
+        engine.disable_distance_cache()
+
+    def test_reenable_resets(self, graph):
+        engine = DijkstraEngine(graph)
+        first = engine.enable_distance_cache(maxsize=8)
+        engine.distance(0, 5)
+        second = engine.enable_distance_cache(maxsize=16)
+        assert second is not first
+        assert second.misses == 0 and len(second) == 0
+        assert engine.distance(0, 5) == pytest.approx(
+            distance_query(graph, 0, 5)
+        )
+        assert second.misses == 1
+
+    def test_works_on_hub_labels(self, graph):
+        hl = HubLabelIndex(graph)
+        cache = hl.enable_distance_cache(maxsize=32)
+        want = distance_query(graph, 2, graph.n - 3)
+        assert hl.distance(2, graph.n - 3) == pytest.approx(want)
+        assert hl.distance(2, graph.n - 3) == pytest.approx(want)
+        assert cache.stats()["hit_rate"] == 0.5
+        # Batched surface bypasses (and is not polluted by) the cache.
+        hl.one_to_many(0, [1, 2, 3])
+        assert cache.misses == 1
+
+    def test_other_instances_unaffected(self, graph):
+        cached = DijkstraEngine(graph)
+        plain = DijkstraEngine(graph)
+        cached.enable_distance_cache()
+        assert plain.distance_cache is None
+        assert plain.distance.__func__ is DijkstraEngine.distance
