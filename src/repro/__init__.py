@@ -17,6 +17,8 @@ Public API highlights
   suite, and the Q1..Q10 workload generator.
 * :mod:`repro.bench` — harnesses regenerating every table and figure of
   the paper's evaluation.
+* :mod:`repro.serve` — the asyncio serving front-end: concurrent
+  requests coalesced into batch-planner kernel calls.
 """
 
 from .graph import (

@@ -1,8 +1,22 @@
-"""Baseline engines: Dijkstra, bidirectional, A*, ALT, CH, SILC and HL."""
+"""Baseline engines: Dijkstra, bidirectional, A*, ALT, CH, SILC and HL.
+
+Also home of the batched-query layer every engine shares: the request
+types and the engine-agnostic :class:`QueryPlanner` that
+:mod:`repro.serve` coalesces traffic through.
+"""
 
 from .alt import ALTEngine, select_landmarks_farthest
 from .astar import AStarEngine, max_speed
-from .base import DistanceCache, QueryEngine
+from .base import (
+    BatchCapabilities,
+    DistanceCache,
+    DistanceRequest,
+    OneToManyRequest,
+    QueryEngine,
+    QueryPlanner,
+    Request,
+    TableRequest,
+)
 from .ch import CHEngine, ContractionResult, contract_graph
 from .dijkstra import BidirectionalEngine, DijkstraEngine
 from .hl import HubLabelIndex
@@ -10,8 +24,14 @@ from .silc import SILCEngine
 from .tnr import TNREngine
 
 __all__ = [
+    "BatchCapabilities",
     "DistanceCache",
+    "DistanceRequest",
+    "OneToManyRequest",
     "QueryEngine",
+    "QueryPlanner",
+    "Request",
+    "TableRequest",
     "DijkstraEngine",
     "BidirectionalEngine",
     "AStarEngine",

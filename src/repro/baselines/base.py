@@ -14,19 +14,70 @@ source, which already beats a loop of point-to-point queries because the
 search from ``source`` is shared by all its targets; engines with a
 stronger primitive override it (hub labels scan the source label once
 per batch, see :mod:`repro.baselines.hl`).
+
+The planner contract
+--------------------
+:class:`QueryPlanner` is the engine-agnostic layer between a *workload*
+(a heterogeneous list of :class:`DistanceRequest` /
+:class:`OneToManyRequest` / :class:`TableRequest`) and an engine's
+kernels.  It is what :mod:`repro.serve` executes coalesced batches
+through, and it obeys three rules that callers may rely on:
+
+1. **Answers are bit-identical to direct engine calls.**  For every
+   request the planner returns exactly what ``engine.distance`` /
+   ``engine.one_to_many`` / ``engine.distance_table`` would have
+   returned for that request alone.  Regrouping is therefore only
+   permitted along lines the engine *declares safe* via
+   :meth:`QueryEngine.batch_capabilities`:
+   ``exact_point_coalescing`` promises that ``one_to_many(s, ts)``
+   reproduces ``[distance(s, t) for t in ts]`` bit-for-bit (true for
+   label joins and for pure-Dijkstra engines, false for e.g. CH whose
+   shortcut sums may differ from a fresh Dijkstra in the last ulp), and
+   ``native_batching`` promises ``distance_table`` factorises
+   per-source work over a shared target set while agreeing bitwise
+   with per-source ``one_to_many`` (the backend-parity property).
+2. **Grouping is structural.**  Point requests are grouped by shared
+   source and answered by one ``one_to_many`` per group (when rule 1
+   allows); ``one_to_many`` and table requests are grouped by identical
+   target tuples and answered by one ``distance_table`` per group (when
+   the engine batches natively).  Singleton groups fall back to the
+   direct call — coalescing must never make a lone query slower than
+   the method it replaces.
+3. **The cache is consulted per group, not per call.**  When a
+   :class:`DistanceCache` is attached, all point lookups of a batch hit
+   the cache under one lock acquisition (:meth:`DistanceCache.
+   lookup_many`), and all freshly computed values are stored back under
+   one more (:meth:`DistanceCache.store_many`).  Batched requests
+   bypass the cache, matching :meth:`QueryEngine.enable_distance_cache`
+   semantics.
+
+``QueryPlanner.stats()`` reports how a workload actually decomposed
+(requests by kind, groups formed, kernel invocations, cache hits), which
+is what the serving layer surfaces per server.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
 from ..graph.path import Path
 from ..graph.traversal import dijkstra_distances
 
-__all__ = ["DistanceCache", "QueryEngine"]
+__all__ = [
+    "BatchCapabilities",
+    "DistanceCache",
+    "DistanceRequest",
+    "OneToManyRequest",
+    "QueryEngine",
+    "QueryPlanner",
+    "Request",
+    "TableRequest",
+]
 
 INF = float("inf")
 
@@ -44,9 +95,17 @@ class DistanceCache:
 
     ``hits`` / ``misses`` are exposed (and in :meth:`stats`) so a
     serving layer can monitor whether the cache is earning its memory.
+
+    The cache is **thread- and task-safe**: every operation (including
+    the counter updates) runs under one internal lock, so serving
+    workers, a :class:`QueryPlanner` and direct ``distance`` calls can
+    share a single instance without corrupting the OrderedDict or the
+    hit/miss statistics.  Batch traffic should prefer the bulk
+    :meth:`lookup_many` / :meth:`store_many`, which take the lock once
+    per batch instead of once per pair.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
 
     def __init__(self, maxsize: int = 65536) -> None:
         if maxsize <= 0:
@@ -55,9 +114,11 @@ class DistanceCache:
         self.hits = 0
         self.misses = 0
         self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def lookup(self, key):
         """The cached value, refreshed as most-recent; None on miss.
@@ -65,37 +126,376 @@ class DistanceCache:
         Distances are floats (``inf`` included), never None, so None is
         an unambiguous miss marker.
         """
-        value = self._data.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def store(self, key, value) -> None:
         """Insert a freshly computed value, evicting the oldest entry."""
-        data = self._data
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            data[key] = value
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
+
+    def lookup_many(self, keys: Sequence) -> List[Optional[float]]:
+        """Bulk :meth:`lookup`: one lock acquisition for the whole batch.
+
+        Returns a list aligned with ``keys`` (None marks a miss); the
+        hit/miss counters advance exactly as per-key lookups would.
+        """
+        out: List[Optional[float]] = []
+        with self._lock:
+            data = self._data
+            hits = misses = 0
+            for key in keys:
+                value = data.get(key)
+                if value is None:
+                    misses += 1
+                else:
+                    data.move_to_end(key)
+                    hits += 1
+                out.append(value)
+            self.hits += hits
+            self.misses += misses
+        return out
+
+    def store_many(self, items: Iterable[Tuple[object, float]]) -> None:
+        """Bulk :meth:`store` under one lock acquisition."""
+        with self._lock:
+            data = self._data
+            maxsize = self.maxsize
+            for key, value in items:
+                data[key] = value
+                if len(data) > maxsize:
+                    data.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
         """Counters snapshot: hits, misses, hit_rate, size, maxsize."""
-        total = self.hits + self.misses
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-            "size": len(self._data),
-            "maxsize": self.maxsize,
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
+
+
+# ----------------------------------------------------------------------
+# The request model the planner (and repro.serve) speaks
+# ----------------------------------------------------------------------
+class Request:
+    """Base class of the planner's request types (for isinstance checks)."""
+
+    __slots__ = ()
+    kind = "?"
+
+
+class DistanceRequest(Request):
+    """One point-to-point distance query: ``d(source, target)``.
+
+    The planner answers it with a plain float, exactly
+    ``engine.distance(source, target)``.
+    """
+
+    __slots__ = ("source", "target")
+    kind = "distance"
+
+    def __init__(self, source: int, target: int) -> None:
+        self.source = int(source)
+        self.target = int(target)
+
+    def __repr__(self) -> str:
+        return f"DistanceRequest({self.source}, {self.target})"
+
+
+class OneToManyRequest(Request):
+    """One source against a batch of targets; answered with a row.
+
+    ``targets`` is normalised to a tuple — tuple identity is what the
+    planner groups on, so callers issuing the *same* target set (the
+    dispatch/ETA pattern) should pass the same sequence every time.
+    """
+
+    __slots__ = ("source", "targets")
+    kind = "one_to_many"
+
+    def __init__(self, source: int, targets: Iterable[int]) -> None:
+        self.source = int(source)
+        self.targets = tuple(int(t) for t in targets)
+
+    def __repr__(self) -> str:
+        return f"OneToManyRequest({self.source}, <{len(self.targets)} targets>)"
+
+
+class TableRequest(Request):
+    """A full ``len(sources) x len(targets)`` distance matrix."""
+
+    __slots__ = ("sources", "targets")
+    kind = "table"
+
+    def __init__(self, sources: Iterable[int], targets: Iterable[int]) -> None:
+        self.sources = tuple(int(s) for s in sources)
+        self.targets = tuple(int(t) for t in targets)
+
+    def __repr__(self) -> str:
+        return (
+            f"TableRequest(<{len(self.sources)} sources>, "
+            f"<{len(self.targets)} targets>)"
+        )
+
+
+@dataclass(frozen=True)
+class BatchCapabilities:
+    """What an engine's batched surface promises the planner.
+
+    Attributes
+    ----------
+    one_to_many, distance_table:
+        Human-readable kernel tags for reports (e.g.
+        ``"dijkstra-per-source"``, ``"hl-dense-gather"``) — surfaced in
+        planner/server stats so a recorded benchmark says *which* kernel
+        served it.
+    native_batching:
+        True when ``distance_table`` genuinely factorises target-side
+        work across sources (and agrees bitwise with per-source
+        ``one_to_many``), so the planner may merge same-target
+        ``one_to_many``/table requests into one table call.  The base
+        fallback is one independent search per source, where merging
+        buys nothing and is skipped.
+    exact_point_coalescing:
+        True when ``one_to_many(s, ts)`` is bit-identical to
+        ``[distance(s, t) for t in ts]``, allowing the planner to fold
+        shared-source point queries into one batch.  Engines whose
+        point query sums weights in a different association than their
+        batch path (CH shortcut unpacking vs plain Dijkstra) must leave
+        this False — the planner never trades exactness for grouping.
+    """
+
+    one_to_many: str = "dijkstra-per-source"
+    distance_table: str = "dijkstra-per-source"
+    native_batching: bool = False
+    exact_point_coalescing: bool = False
+
+
+class QueryPlanner:
+    """Engine-agnostic batch planner: groups requests, routes kernels.
+
+    See the module docstring ("The planner contract") for the rules.
+    The planner is stateless between :meth:`execute` calls except for
+    monotonically growing counters; it holds no request state, so one
+    instance may serve any number of sequential batches (the serving
+    loop calls it once per coalesced batch).
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`QueryEngine`; capabilities are read once here.
+    cache:
+        Optional shared :class:`DistanceCache` consulted (per group)
+        for point requests.  Defaults to the engine's active
+        ``distance_cache`` if one is enabled, else no caching.
+    min_group:
+        Smallest shared-source point group worth folding into one
+        ``one_to_many`` (and smallest same-target group worth folding
+        into one table).  Below it the direct per-request call runs.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        cache: Optional[DistanceCache] = None,
+        min_group: int = 2,
+    ) -> None:
+        if min_group < 2:
+            raise ValueError(f"min_group must be >= 2, got {min_group}")
+        self.engine = engine
+        self.capabilities = engine.batch_capabilities()
+        self.cache = cache if cache is not None else engine.distance_cache
+        self.min_group = min_group
+        self._counters: Dict[str, int] = {
+            "batches": 0,
+            "requests_distance": 0,
+            "requests_one_to_many": 0,
+            "requests_table": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "coalesced_point_queries": 0,
+            "merged_one_to_many": 0,
+            "merged_tables": 0,
+            "kernel_distance": 0,
+            "kernel_one_to_many": 0,
+            "kernel_distance_table": 0,
         }
+
+    # ------------------------------------------------------------------
+    def execute(self, requests: Sequence[Request]) -> List[object]:
+        """Answer a heterogeneous batch; results align with ``requests``.
+
+        ``DistanceRequest`` slots receive a float, ``OneToManyRequest``
+        slots a list of floats, ``TableRequest`` slots a list of rows —
+        exactly the direct engine calls' types and values.
+        """
+        requests = list(requests)
+        results: List[object] = [None] * len(requests)
+        point: List[Tuple[int, int, int]] = []
+        o2m: List[Tuple[int, OneToManyRequest]] = []
+        tables: List[Tuple[int, TableRequest]] = []
+        for i, req in enumerate(requests):
+            if isinstance(req, DistanceRequest):
+                point.append((i, req.source, req.target))
+            elif isinstance(req, OneToManyRequest):
+                o2m.append((i, req))
+            elif isinstance(req, TableRequest):
+                tables.append((i, req))
+            else:
+                raise TypeError(
+                    f"unknown request type {type(req).__name__!r}; expected "
+                    "DistanceRequest / OneToManyRequest / TableRequest"
+                )
+        c = self._counters
+        c["batches"] += 1
+        c["requests_distance"] += len(point)
+        c["requests_one_to_many"] += len(o2m)
+        c["requests_table"] += len(tables)
+        if point:
+            self._run_point(point, results)
+        if o2m:
+            self._run_one_to_many(o2m, results)
+        if tables:
+            self._run_tables(tables, results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_point(
+        self, point: List[Tuple[int, int, int]], results: List[object]
+    ) -> None:
+        """Cache per group, then shared-source folds where declared exact."""
+        c = self._counters
+        cache = self.cache
+        misses = point
+        if cache is not None:
+            cached = cache.lookup_many([(s, t) for _, s, t in point])
+            misses = []
+            for (i, s, t), value in zip(point, cached):
+                if value is None:
+                    misses.append((i, s, t))
+                else:
+                    results[i] = value
+            c["cache_hits"] += len(point) - len(misses)
+            c["cache_misses"] += len(misses)
+        if not misses:
+            return
+        by_source: "OrderedDict[int, List[Tuple[int, int]]]" = OrderedDict()
+        for i, s, t in misses:
+            by_source.setdefault(s, []).append((i, t))
+        caps = self.capabilities
+        engine = self.engine
+        distance = engine.distance
+        if cache is not None and cache is engine.distance_cache:
+            # The planner consults this cache per group itself; use the
+            # unwrapped method so misses don't pay (and don't count) a
+            # second per-call lookup inside the engine's wrapper.
+            distance = getattr(distance, "__wrapped__", distance)
+        fresh: List[Tuple[Tuple[int, int], float]] = []
+        keep = fresh.append if cache is not None else (lambda pair: None)
+        for s, group in by_source.items():
+            if caps.exact_point_coalescing and len(group) >= self.min_group:
+                row = engine.one_to_many(s, [t for _, t in group])
+                c["kernel_one_to_many"] += 1
+                c["coalesced_point_queries"] += len(group)
+                for (i, t), d in zip(group, row):
+                    results[i] = d
+                    keep(((s, t), d))
+            else:
+                for i, t in group:
+                    d = distance(s, t)
+                    c["kernel_distance"] += 1
+                    results[i] = d
+                    keep(((s, t), d))
+        if fresh:
+            cache.store_many(fresh)
+
+    def _run_one_to_many(
+        self, o2m: List[Tuple[int, OneToManyRequest]], results: List[object]
+    ) -> None:
+        """Fold same-target rows into one table on natively-batching engines."""
+        c = self._counters
+        engine = self.engine
+        by_targets: "OrderedDict[Tuple[int, ...], List[Tuple[int, int]]]" = (
+            OrderedDict()
+        )
+        for i, req in o2m:
+            by_targets.setdefault(req.targets, []).append((i, req.source))
+        for targets, group in by_targets.items():
+            if self.capabilities.native_batching and len(group) >= self.min_group:
+                table = engine.distance_table([s for _, s in group], targets)
+                c["kernel_distance_table"] += 1
+                c["merged_one_to_many"] += len(group)
+                for (i, _), row in zip(group, table):
+                    results[i] = row
+            else:
+                for i, s in group:
+                    results[i] = engine.one_to_many(s, targets)
+                    c["kernel_one_to_many"] += 1
+
+    def _run_tables(
+        self, tables: List[Tuple[int, TableRequest]], results: List[object]
+    ) -> None:
+        """Concatenate same-target tables into one kernel call, slice back."""
+        c = self._counters
+        engine = self.engine
+        by_targets: "OrderedDict[Tuple[int, ...], List[Tuple[int, TableRequest]]]" = (
+            OrderedDict()
+        )
+        for i, req in tables:
+            by_targets.setdefault(req.targets, []).append((i, req))
+        for targets, group in by_targets.items():
+            if self.capabilities.native_batching and len(group) >= self.min_group:
+                all_sources: List[int] = []
+                for _, req in group:
+                    all_sources.extend(req.sources)
+                table = engine.distance_table(all_sources, targets)
+                c["kernel_distance_table"] += 1
+                c["merged_tables"] += len(group)
+                row = 0
+                for i, req in group:
+                    results[i] = table[row : row + len(req.sources)]
+                    row += len(req.sources)
+            else:
+                for i, req in group:
+                    results[i] = engine.distance_table(req.sources, targets)
+                    c["kernel_distance_table"] += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot plus the engine's declared kernel tags."""
+        caps = self.capabilities
+        out = dict(self._counters)
+        out["engine"] = self.engine.name
+        out["kernels"] = {
+            "one_to_many": caps.one_to_many,
+            "distance_table": caps.distance_table,
+        }
+        out["native_batching"] = caps.native_batching
+        out["exact_point_coalescing"] = caps.exact_point_coalescing
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
 
 
 class QueryEngine(abc.ABC):
@@ -142,6 +542,10 @@ class QueryEngine(abc.ABC):
                 store(key, value)
             return value
 
+        # Let layers that manage this same cache themselves (QueryPlanner
+        # consults it per *group*) reach the uncached method instead of
+        # paying a second per-call lookup under the wrapper.
+        cached_distance.__wrapped__ = inner  # type: ignore[attr-defined]
         self.distance = cached_distance  # type: ignore[method-assign]
         self._distance_cache = cache
         return cache
@@ -171,6 +575,18 @@ class QueryEngine(abc.ABC):
     # ------------------------------------------------------------------
     # Batched queries
     # ------------------------------------------------------------------
+    def batch_capabilities(self) -> BatchCapabilities:
+        """What the planner may assume about this engine's batch surface.
+
+        The base promise is the weakest one: a per-source Dijkstra
+        fallback with no native factorisation and no bit-exactness
+        guarantee between ``distance`` and ``one_to_many`` (indexed
+        engines may sum shortcut weights in a different association
+        than a fresh search).  Engines override to unlock grouping —
+        see :class:`BatchCapabilities`.
+        """
+        return BatchCapabilities()
+
     def one_to_many(self, source: int, targets: Iterable[int]) -> List[float]:
         """Distances from ``source`` to each target, aligned with ``targets``.
 

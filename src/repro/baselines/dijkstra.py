@@ -23,7 +23,7 @@ from ..graph.traversal import (
     distance_query,
     shortest_path_query,
 )
-from .base import QueryEngine
+from .base import BatchCapabilities, QueryEngine
 
 __all__ = ["DijkstraEngine", "BidirectionalEngine"]
 
@@ -32,6 +32,16 @@ class DijkstraEngine(QueryEngine):
     """Plain Dijkstra with early exit; no preprocessing, no index."""
 
     name = "Dijkstra"
+
+    def batch_capabilities(self) -> BatchCapabilities:
+        """Point and batch paths run the *same* forward Dijkstra (same
+        relaxation order, same float accumulation), so the planner may
+        fold shared-source point queries into one target-pruned search
+        without changing a bit.  BidirectionalEngine cannot make this
+        promise: its point query sums a forward and a backward label at
+        the meeting node, a different association than the one-sided
+        batch fallback."""
+        return BatchCapabilities(exact_point_coalescing=True)
 
     def distance(self, source: int, target: int) -> float:
         """Distance via a single forward search stopped at ``target``."""

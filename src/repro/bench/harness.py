@@ -8,9 +8,10 @@ paper-style tables and series.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import backend
 from ..baselines import (
@@ -21,6 +22,7 @@ from ..baselines import (
     DijkstraEngine,
     HubLabelIndex,
     QueryEngine,
+    Request,
     SILCEngine,
     TNREngine,
 )
@@ -31,8 +33,10 @@ __all__ = [
     "ENGINE_FACTORIES",
     "BuildRecord",
     "QueryRecord",
+    "ServeRecord",
     "build_engine",
     "environment_metadata",
+    "run_closed_loop",
     "time_distance_batch",
     "time_path_batch",
 ]
@@ -101,6 +105,72 @@ class QueryRecord:
     def total_seconds(self) -> float:
         """Total wall time spent on the batch."""
         return self.mean_us * self.queries / 1e6
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """Throughput of one closed-loop serving run (the PR 4 dimension).
+
+    ``requests`` counts client-visible requests (a one-to-many row is
+    one request however many targets it carries); ``mean_batch_size``
+    and ``cache_hit_rate`` come from the server's stats surface and
+    document *why* the throughput is what it is — how wide coalescing
+    actually ran and how much the shared cache absorbed.
+    """
+
+    engine: str
+    dataset: str
+    clients: int
+    requests: int
+    seconds: float
+    requests_per_s: float
+    batches: int
+    mean_batch_size: float
+    cache_hit_rate: float
+    #: Array backend active during the run (see BuildRecord).
+    backend: str = field(default_factory=backend.active)
+
+
+def run_closed_loop(
+    engine: QueryEngine,
+    scripts: Sequence[Sequence[Request]],
+    cache=None,
+    **server_kwargs,
+) -> Tuple[float, List[List[object]], dict]:
+    """Drive per-client request scripts through a coalescing Server.
+
+    Each inner sequence is one client's *closed-loop* session: the
+    client awaits every answer before issuing its next request, so the
+    offered concurrency equals the number of still-active clients —
+    the standard serving-benchmark shape (and the one that exercises
+    natural batching: while one planner batch computes, every answered
+    client re-submits).
+
+    Returns ``(wall_seconds, per_client_results, server_stats)``; the
+    timing covers the requests only, not server startup/shutdown.
+    Import of :class:`repro.serve.Server` is deferred so the harness's
+    figure-experiment users never pay for the serving layer.
+    """
+    from ..serve import Server  # local: keep harness import-light
+
+    async def _client(server, script, out, idx):
+        results = []
+        for request in script:
+            results.append(await server.submit(request))
+        out[idx] = results
+
+    async def _main():
+        server = Server(engine, cache=cache, **server_kwargs)
+        out: List[Optional[List[object]]] = [None] * len(scripts)
+        async with server:
+            t0 = time.perf_counter()
+            await asyncio.gather(
+                *(_client(server, s, out, i) for i, s in enumerate(scripts))
+            )
+            elapsed = time.perf_counter() - t0
+        return elapsed, out, server.stats()
+
+    return asyncio.run(_main())
 
 
 _ENGINE_CACHE: Dict[Tuple, Tuple[QueryEngine, "BuildRecord"]] = {}

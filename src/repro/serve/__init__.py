@@ -1,0 +1,41 @@
+"""``repro.serve`` — the asyncio serving subsystem.
+
+Turns the repo's library of distance oracles into a *system that serves
+them*: a :class:`Server` coalesces concurrent in-flight requests into
+:class:`~repro.baselines.base.QueryPlanner` batches (window / max-batch
+policy, backpressure, per-request deadlines) so one index answers many
+clients through its batched kernels instead of one query at a time.
+
+The request vocabulary is the planner's
+(:class:`~repro.baselines.base.DistanceRequest` /
+:class:`~repro.baselines.base.OneToManyRequest` /
+:class:`~repro.baselines.base.TableRequest`), re-exported here so a
+serving client needs only this package::
+
+    from repro.serve import Server, DistanceRequest
+
+    async with Server(engine, cache=True) as server:
+        d = await server.distance(3, 999)
+
+See ``examples/serve_demo.py`` for the full tour and
+``benchmarks/test_serve_speed.py`` for the recorded throughput story.
+"""
+
+from ..baselines.base import (
+    DistanceRequest,
+    OneToManyRequest,
+    Request,
+    TableRequest,
+)
+from .server import DeadlineExpired, Server, ServerClosed, ServerOverloaded
+
+__all__ = [
+    "DeadlineExpired",
+    "DistanceRequest",
+    "OneToManyRequest",
+    "Request",
+    "Server",
+    "ServerClosed",
+    "ServerOverloaded",
+    "TableRequest",
+]

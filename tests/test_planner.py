@@ -1,0 +1,274 @@
+"""Tests for the engine-agnostic batch planner and the cache bulk/lock layer.
+
+The planner contract (module docstring of :mod:`repro.baselines.base`)
+promises bit-identical answers to direct engine calls under any
+grouping; these tests pin that per engine, plus the grouping decisions
+themselves (who may coalesce, who must not) and the thread-safety of
+the shared :class:`DistanceCache`.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.baselines import (
+    BatchCapabilities,
+    CHEngine,
+    DijkstraEngine,
+    DistanceCache,
+    DistanceRequest,
+    HubLabelIndex,
+    OneToManyRequest,
+    QueryPlanner,
+    TableRequest,
+)
+from repro.datasets import grid_city
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_city(7, 7, seed=4)
+
+
+@pytest.fixture(scope="module")
+def hl(graph):
+    return HubLabelIndex(graph)
+
+
+def _mixed_requests(graph, seed=11, count=40):
+    rng = random.Random(seed)
+    n = graph.n
+    pool = tuple(rng.randrange(n) for _ in range(6))
+    reqs = []
+    for _ in range(count):
+        k = rng.random()
+        if k < 0.5:
+            # Skewed sources so shared-source groups actually form.
+            reqs.append(
+                DistanceRequest(rng.randrange(5), rng.randrange(n))
+            )
+        elif k < 0.8:
+            reqs.append(OneToManyRequest(rng.randrange(n), pool))
+        else:
+            reqs.append(TableRequest((0, 3, rng.randrange(n)), pool))
+    return reqs
+
+
+def _direct(engine, req):
+    if isinstance(req, DistanceRequest):
+        return engine.distance(req.source, req.target)
+    if isinstance(req, OneToManyRequest):
+        return engine.one_to_many(req.source, req.targets)
+    return engine.distance_table(req.sources, req.targets)
+
+
+class TestPlannerParity:
+    @pytest.mark.parametrize("factory", [DijkstraEngine, CHEngine])
+    def test_bit_identical_to_direct_calls(self, graph, factory):
+        engine = factory(graph)
+        reqs = _mixed_requests(graph)
+        got = QueryPlanner(engine).execute(reqs)
+        for req, result in zip(reqs, got):
+            assert result == _direct(engine, req), req
+
+    def test_bit_identical_on_hl(self, graph, hl):
+        reqs = _mixed_requests(graph)
+        got = QueryPlanner(hl).execute(reqs)
+        for req, result in zip(reqs, got):
+            assert result == _direct(hl, req), req
+
+    def test_parity_with_cache_attached(self, graph, hl):
+        reqs = _mixed_requests(graph)
+        planner = QueryPlanner(hl, cache=DistanceCache(256))
+        first = planner.execute(reqs)
+        second = planner.execute(reqs)  # now largely cache-served
+        want = [_direct(hl, req) for req in reqs]
+        assert first == want
+        assert second == want
+        assert planner.stats()["cache_hits"] > 0
+
+    def test_empty_batch_and_empty_targets(self, hl):
+        planner = QueryPlanner(hl)
+        assert planner.execute([]) == []
+        [row] = planner.execute([OneToManyRequest(0, ())])
+        assert row == []
+
+    def test_unknown_request_type_raises(self, hl):
+        with pytest.raises(TypeError):
+            QueryPlanner(hl).execute([("distance", 0, 1)])
+
+    def test_min_group_validation(self, hl):
+        with pytest.raises(ValueError):
+            QueryPlanner(hl, min_group=1)
+
+
+class TestPlannerGrouping:
+    def test_shared_source_points_coalesce_on_hl(self, hl):
+        planner = QueryPlanner(hl)
+        reqs = [DistanceRequest(2, t) for t in (5, 9, 13, 21)]
+        got = planner.execute(reqs)
+        assert got == [hl.distance(2, t) for t in (5, 9, 13, 21)]
+        stats = planner.stats()
+        assert stats["kernel_one_to_many"] == 1
+        assert stats["kernel_distance"] == 0
+        assert stats["coalesced_point_queries"] == 4
+
+    def test_ch_never_coalesces_point_queries(self, graph):
+        # CH's point query sums shortcut weights in a different
+        # association than a fresh Dijkstra; capabilities must keep the
+        # planner from trading exactness for grouping.
+        ch = CHEngine(graph)
+        assert not ch.batch_capabilities().exact_point_coalescing
+        planner = QueryPlanner(ch)
+        reqs = [DistanceRequest(2, t) for t in (5, 9, 13)]
+        got = planner.execute(reqs)
+        assert got == [ch.distance(2, t) for t in (5, 9, 13)]
+        stats = planner.stats()
+        assert stats["kernel_distance"] == 3
+        assert stats["kernel_one_to_many"] == 0
+
+    def test_singleton_groups_use_direct_distance(self, hl):
+        planner = QueryPlanner(hl)
+        planner.execute([DistanceRequest(1, 2), DistanceRequest(3, 4)])
+        stats = planner.stats()
+        assert stats["kernel_distance"] == 2
+        assert stats["coalesced_point_queries"] == 0
+
+    def test_same_target_rows_merge_into_table(self, hl):
+        planner = QueryPlanner(hl)
+        pool = (1, 5, 9)
+        reqs = [OneToManyRequest(s, pool) for s in (0, 7, 20)]
+        got = planner.execute(reqs)
+        assert got == [hl.one_to_many(s, pool) for s in (0, 7, 20)]
+        stats = planner.stats()
+        assert stats["kernel_distance_table"] == 1
+        assert stats["merged_one_to_many"] == 3
+
+    def test_tables_with_shared_targets_concatenate(self, hl):
+        planner = QueryPlanner(hl)
+        pool = (2, 8, 11)
+        reqs = [TableRequest((0, 1), pool), TableRequest((5, 6, 7), pool)]
+        first, second = planner.execute(reqs)
+        assert first == hl.distance_table((0, 1), pool)
+        assert second == hl.distance_table((5, 6, 7), pool)
+        assert planner.stats()["kernel_distance_table"] == 1
+
+    def test_base_engines_skip_table_merging(self, graph):
+        # The fallback distance_table is one search per source anyway;
+        # merging would buy nothing, so the planner answers per request.
+        dj = DijkstraEngine(graph)
+        assert not dj.batch_capabilities().native_batching
+        planner = QueryPlanner(dj)
+        pool = (2, 8)
+        planner.execute([OneToManyRequest(0, pool), OneToManyRequest(1, pool)])
+        assert planner.stats()["kernel_one_to_many"] == 2
+
+    def test_capabilities_defaults(self, graph):
+        caps = CHEngine(graph).batch_capabilities()
+        assert caps == BatchCapabilities()
+        dj = DijkstraEngine(graph).batch_capabilities()
+        assert dj.exact_point_coalescing and not dj.native_batching
+        hl_caps = HubLabelIndex(graph).batch_capabilities()
+        assert hl_caps.native_batching and hl_caps.exact_point_coalescing
+
+
+class TestPlannerCacheDiscipline:
+    def test_cache_consulted_per_group_not_per_call(self, hl):
+        cache = DistanceCache(256)
+        planner = QueryPlanner(hl, cache=cache)
+        reqs = [DistanceRequest(0, t) for t in (5, 9, 13)]
+        planner.execute(reqs)
+        assert cache.misses == 3 and cache.hits == 0
+        planner.execute(reqs)
+        assert cache.misses == 3 and cache.hits == 3
+
+    def test_engine_wrapper_cache_not_double_counted(self, graph):
+        # When the engine's enable_distance_cache cache is also the
+        # planner's, misses must pay exactly one lookup + one store.
+        dj = DijkstraEngine(graph)
+        cache = dj.enable_distance_cache(maxsize=64)
+        planner = QueryPlanner(dj)
+        assert planner.cache is cache
+        planner.execute([DistanceRequest(0, 9)])
+        assert cache.misses == 1 and cache.hits == 0
+        assert dj.distance(0, 9) == planner.execute([DistanceRequest(0, 9)])[0]
+        assert cache.hits == 2  # one via the wrapper, one via the planner
+
+    def test_batched_requests_bypass_cache(self, hl):
+        cache = DistanceCache(256)
+        planner = QueryPlanner(hl, cache=cache)
+        planner.execute([OneToManyRequest(0, (1, 2)), TableRequest((0,), (1, 2))])
+        assert len(cache) == 0 and cache.misses == 0
+
+
+class TestDistanceCacheConcurrency:
+    def test_bulk_ops_match_scalar_semantics(self):
+        cache = DistanceCache(maxsize=4)
+        cache.store_many([((0, i), float(i)) for i in range(6)])
+        assert len(cache) == 4  # bound enforced during the bulk store
+        got = cache.lookup_many([(0, 4), (0, 0), (0, 5)])
+        assert got == [4.0, None, 5.0]
+        assert cache.hits == 2 and cache.misses == 1
+
+    def test_lookup_many_refreshes_recency(self):
+        cache = DistanceCache(maxsize=2)
+        cache.store((0, 1), 1.0)
+        cache.store((0, 2), 2.0)
+        cache.lookup_many([(0, 1)])  # (0, 1) becomes most-recent
+        cache.store((0, 3), 3.0)  # evicts (0, 2)
+        assert cache.lookup((0, 2)) is None
+        assert cache.lookup((0, 1)) == 1.0
+
+    def test_threaded_hammer_keeps_counters_consistent(self):
+        # The satellite requirement: serving workers and the planner
+        # share one instance.  8 threads interleave scalar and bulk
+        # lookups/stores; under the lock, hits + misses must equal the
+        # exact number of lookups issued and the LRU bound must hold.
+        cache = DistanceCache(maxsize=64)
+        lookups_per_thread = 500
+        threads = 8
+        barrier = threading.Barrier(threads)
+
+        def worker(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            for i in range(lookups_per_thread // 2):
+                key = (seed, rng.randrange(32))
+                if cache.lookup(key) is None:
+                    cache.store(key, float(i))
+            keys = [(seed, rng.randrange(32)) for _ in range(lookups_per_thread // 2)]
+            found = cache.lookup_many(keys)
+            cache.store_many(
+                (k, 1.0) for k, v in zip(keys, found) if v is None
+            )
+
+        pool = [threading.Thread(target=worker, args=(s,)) for s in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == threads * lookups_per_thread
+        assert len(cache) <= 64
+
+
+class TestTargetInversionMemo:
+    def test_memo_hit_on_repeated_target_tuple(self, hl):
+        hl.clear_target_inversions()
+        pool = (1, 4, 9, 16)
+        first = hl.distance_table((0, 2), pool)
+        second = hl.distance_table((3, 5), pool)
+        assert hl.target_inversion_stats()["misses"] == 1
+        assert hl.target_inversion_stats()["hits"] == 1
+        # And the memoized inversion must not change answers.
+        assert first == [hl.one_to_many(s, pool) for s in (0, 2)]
+        assert second == [hl.one_to_many(s, pool) for s in (3, 5)]
+
+    def test_memo_eviction_bound(self, hl):
+        hl.clear_target_inversions()
+        for i in range(hl._tinv_max + 5):
+            hl.distance_table((0,), (i, i + 1))
+        assert hl.target_inversion_stats()["size"] <= hl._tinv_max
