@@ -55,7 +55,14 @@ from repro.baselines import (
     HubLabelIndex,
     OneToManyRequest,
 )
-from repro.bench.harness import ServeRecord, environment_metadata, run_closed_loop
+from repro.bench.harness import (
+    OpenLoopRecord,
+    ServeRecord,
+    environment_metadata,
+    latency_percentile,
+    run_closed_loop,
+    run_open_loop,
+)
 from repro.datasets import dataset
 
 INF = float("inf")
@@ -68,6 +75,23 @@ O2M_FRACTION = 0.75
 HOT_NODES = 64
 REPEATS = 3
 SEED = 99
+
+#: Open-loop sweep: offered arrival rates (requests/second) crossed with
+#: two coalescing policies, so BENCH_serve records how p50/p99 move with
+#: load under each side of the window_s/max_batch trade-off (the ROADMAP
+#: "open-loop load + latency SLOs" item).
+OPEN_RATES = (2000, 8000, 32000)
+OPEN_POLICIES = {
+    # Natural batching only: a request never waits for company, so p50
+    # stays near the kernel time at low load.
+    "natural": {"window_s": 0.0, "max_batch": 1024},
+    # A 2 ms window trades per-request latency for wider batches — the
+    # knob a throughput-bound deployment turns; the sweep shows what it
+    # costs at low load and what it buys near saturation.
+    "window-2ms": {"window_s": 0.002, "max_batch": 1024},
+}
+OPEN_REQUESTS = 3000
+BURST_SIZE = 64
 
 
 def build_workload(graph, clients=CLIENTS, rounds=ROUNDS, seed=SEED):
@@ -180,6 +204,110 @@ def _bench_backend(hl, scripts, reference, requests):
     }
 
 
+def poisson_arrivals(count, rate, seed=SEED):
+    """Cumulative exponential gaps: a Poisson arrival process at ``rate``."""
+    rng = random.Random(seed)
+    at = 0.0
+    out = []
+    for _ in range(count):
+        at += rng.expovariate(rate)
+        out.append(at)
+    return out
+
+
+def bursty_arrivals(count, rate, burst=BURST_SIZE):
+    """``burst`` simultaneous requests every ``burst/rate`` seconds.
+
+    Same average offered load as the Poisson process, maximally lumpy —
+    the arrival shape that separates a natural-batching server (absorbs
+    the lump as one batch) from a per-request one (queues it).
+    """
+    period = burst / rate
+    return [(i // burst) * period for i in range(count)]
+
+
+def _open_loop_requests(graph, count=OPEN_REQUESTS, seed=SEED + 1):
+    """Flat request stream with the closed-loop workload's shape."""
+    scripts = build_workload(graph, clients=count, rounds=1, seed=seed)
+    return [script[0] for script in scripts]
+
+
+def _latency_summary(latencies, duration, arrival, rate, engine_name):
+    """Fold one run's latencies into an OpenLoopRecord."""
+    answered = sorted(lat for lat in latencies if lat is not None)
+    expired = sum(1 for lat in latencies if lat is None)
+    record = OpenLoopRecord(
+        engine=engine_name,
+        dataset=DATASET,
+        arrival=arrival,
+        offered_rps=rate,
+        requests=len(latencies),
+        completed=len(answered),
+        expired=expired,
+        duration_s=round(duration, 4),
+        p50_ms=round(latency_percentile(answered, 0.50) * 1e3, 4),
+        p99_ms=round(latency_percentile(answered, 0.99) * 1e3, 4),
+        mean_ms=round(
+            (sum(answered) / len(answered) * 1e3) if answered else 0.0, 4
+        ),
+        max_ms=round((answered[-1] * 1e3) if answered else 0.0, 4),
+    )
+    return record
+
+
+def run_open_loop_bench(hl, graph, rates=OPEN_RATES, count=OPEN_REQUESTS):
+    """p50/p99 latency vs offered load, per arrival process and policy.
+
+    Each cell fires the same request stream on a fixed arrival schedule
+    and measures answer latency from the *scheduled* arrival (so a
+    lagging server accrues queueing delay — no coordinated omission).
+    One run per cell: open-loop latency distributions are the
+    measurement, best-of repeats would censor exactly the queueing
+    noise the bench exists to expose.
+    """
+    requests = _open_loop_requests(graph, count=count)
+    sweep = {}
+    for arrival in ("poisson", "bursty"):
+        by_rate = {}
+        for rate in rates:
+            arrivals = (
+                poisson_arrivals(count, rate)
+                if arrival == "poisson"
+                else bursty_arrivals(count, rate)
+            )
+            by_policy = {}
+            for policy_name, policy in OPEN_POLICIES.items():
+                latencies, duration, stats = run_open_loop(
+                    hl,
+                    requests,
+                    arrivals,
+                    cache=DistanceCache(1 << 16),
+                    **policy,
+                )
+                record = _latency_summary(latencies, duration, arrival, rate, hl.name)
+                by_policy[policy_name] = {
+                    "p50_ms": record.p50_ms,
+                    "p99_ms": record.p99_ms,
+                    "mean_ms": record.mean_ms,
+                    "max_ms": record.max_ms,
+                    "completed": record.completed,
+                    "mean_batch_size": stats["mean_batch_size"],
+                    "batches": stats["batches"],
+                    "record": asdict(record),
+                }
+            by_rate[f"{rate}_rps"] = by_policy
+        sweep[arrival] = by_rate
+    sweep["note"] = (
+        "open loop: requests fire on a fixed arrival schedule (poisson "
+        "gaps / %d-request bursts), latency measured from the scheduled "
+        "arrival so queueing delay is charged to the server, never to "
+        "the clock.  The window_s trade-off is the point: the 2 ms "
+        "window widens batches (throughput headroom) at the price of "
+        "floor latency at low load." % BURST_SIZE
+    )
+    return sweep
+
+
 def build_and_verify(clients=CLIENTS, rounds=ROUNDS):
     """Build HL on NH, generate the workload, pin served == sequential."""
     graph = dataset(DATASET)
@@ -236,6 +364,13 @@ def run_benchmark():
             "backends": backends,
         }
     )
+    # Open-loop latency sweep on the default backend (the latency story
+    # is policy/arrival-shaped; the backend dimension is covered by the
+    # closed-loop A/B above).
+    result["open_loop"] = {
+        "backend": backend.active(),
+        **run_open_loop_bench(hl, hl.graph),
+    }
     return result
 
 
@@ -260,6 +395,17 @@ def run_check():
                 "mean_batch_size": stats["mean_batch_size"],
                 "cache_hit_rate": round(stats["planner"]["cache"]["hit_rate"], 4),
             }
+    # Open-loop smoke: one small Poisson run must answer everything.
+    requests = _open_loop_requests(hl.graph, count=300)
+    latencies, duration, _ = run_open_loop(
+        hl, requests, poisson_arrivals(300, 4000), cache=DistanceCache(1 << 12)
+    )
+    assert all(lat is not None for lat in latencies), "open-loop requests shed"
+    result["open_loop_smoke"] = {
+        "requests": len(requests),
+        "completed": len(latencies),
+        "arrival": "poisson@4000rps",
+    }
     result["mode"] = "check (parity + coalescing evidence; timings omitted)"
     result["backends"] = checks
     return result
@@ -297,6 +443,14 @@ def test_serve_speed():
     # tables + inversion memo + cache), not merely tolerate it.
     assert backends["pure-python"]["coalesced_vs_sequential_speedup"] >= 1.3, backends
     assert backends["pure-python"]["record"]["mean_batch_size"] > 10.0, backends
+    # Open-loop sweep sanity (shape only — latency values are recorded,
+    # not asserted, so a noisy box cannot flake this guard): nothing
+    # shed, distributions ordered.
+    for arrival in ("poisson", "bursty"):
+        for rate_cell in result["open_loop"][arrival].values():
+            for cell in rate_cell.values():
+                assert cell["completed"] == cell["record"]["requests"], cell
+                assert cell["p50_ms"] <= cell["p99_ms"] + 1e-9, cell
     # The committed BENCH_serve.json is refreshed explicitly (run this
     # file directly on a quiet machine); CI gates, it does not overwrite.
 

@@ -235,18 +235,30 @@ def col_bytes(col) -> bytes:
     return col.tobytes()
 
 
-def index_col_from_bytes(buf: bytes):
-    """Rebuild an int64 column of the active backend from raw bytes."""
+def index_col_from_bytes(buf):
+    """Rebuild an int64 column of the active backend from raw bytes.
+
+    Accepts any bytes-like object (``bytes``, ``memoryview``, mmap
+    windows); under numpy the result is a zero-copy ``frombuffer`` view
+    over the buffer (read-only when the buffer is).  The stdlib path
+    must go through ``frombytes`` — the ``array(typecode, buf)``
+    constructor treats a ``memoryview`` as an iterable of byte values
+    and silently builds garbage.
+    """
     if use_numpy():
         return np.frombuffer(buf, dtype=np.int64)
-    return array("q", buf)
+    out = array("q")
+    out.frombytes(buf)
+    return out
 
 
-def float_col_from_bytes(buf: bytes):
+def float_col_from_bytes(buf):
     """Rebuild a float64 column of the active backend from raw bytes."""
     if use_numpy():
         return np.frombuffer(buf, dtype=np.float64)
-    return array("d", buf)
+    out = array("d")
+    out.frombytes(buf)
+    return out
 
 
 # ----------------------------------------------------------------------

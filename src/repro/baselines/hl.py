@@ -158,6 +158,140 @@ def _pruned_upward_labels(
     return entries
 
 
+def _rank_bands(res: ContractionResult, by_rank: List[int]) -> List[List[int]]:
+    """Partition nodes into parallelisable *rank bands* (equal levels).
+
+    ``height[u]`` is the longest upward-edge path out of ``u`` over the
+    union of both upward graphs (``up_out`` and ``up_in``).  Every node
+    either search from ``u`` can settle is reachable by upward edges,
+    hence has strictly smaller height — so nodes of equal height are
+    mutually unreachable: their pruned searches read only labels of
+    earlier (smaller-height) bands, and a whole band can build in
+    parallel once the previous bands are finished.  Band 0 holds the top
+    of the hierarchy (no upward edges at all), matching the serial
+    descending-rank order's first nodes; by induction every node's label
+    comes out *identical* to the serial build's (the ISSUE's
+    byte-for-byte bar — ``tests/test_pool.py`` pins it).
+
+    Within a band nodes are listed in descending rank, so a
+    single-worker band-parallel build visits nodes in exactly the serial
+    order.
+    """
+    n = len(by_rank)
+    height = [0] * n
+    for r in range(n - 1, -1, -1):  # upward neighbours outrank u: done
+        u = by_rank[r]
+        h = 0
+        for v, _, _ in res.up_out[u]:
+            hv = height[v]
+            if hv >= h:
+                h = hv + 1
+        for v, _, _ in res.up_in[u]:
+            hv = height[v]
+            if hv >= h:
+                h = hv + 1
+        height[u] = h
+    bands: List[List[int]] = [[] for _ in range(max(height) + 1 if n else 0)]
+    for r in range(n - 1, -1, -1):
+        u = by_rank[r]
+        bands[height[u]].append(u)
+    return bands
+
+
+def _contiguous_chunks(seq: List[int], k: int) -> List[List[int]]:
+    """``seq`` in ``k`` contiguous, near-equal slices (may be empty)."""
+    q, r = divmod(len(seq), k)
+    out = []
+    pos = 0
+    for i in range(k):
+        size = q + (1 if i < r else 0)
+        out.append(seq[pos : pos + size])
+        pos += size
+    return out
+
+
+#: Bands smaller than this are built in the parent process — at the top
+#: of the hierarchy bands hold a handful of nodes, where two pipe
+#: round-trips cost more than the searches themselves.
+_PARALLEL_BAND_MIN = 8
+
+
+def _build_labels_parallel(
+    graph: Graph,
+    res: ContractionResult,
+    by_rank: List[int],
+    workers: int,
+    mp_context: Optional[str],
+) -> Tuple[list, list, dict]:
+    """Fan the pruned label build out over band-sliced worker processes.
+
+    Reuses the :mod:`repro.serve.pool` worker substrate: each build
+    worker holds the upward graphs plus a local replica of all finished
+    labels.  Per band, workers compute contiguous slices of the band's
+    nodes, the parent merges the entries, and a ``sync`` broadcast
+    brings every replica up to date before the next band.  Small bands
+    are computed in the parent directly (the round-trip would dominate).
+
+    Results are exactly the serial build's labels — see
+    :func:`_rank_bands` for why — so the flattened columns are
+    byte-identical.  A worker crash during the build raises
+    :class:`~repro.serve.pool.WorkerCrashed` (builds are restartable;
+    only the serving pool retries).
+    """
+    from ..serve.pool import build_worker_handles  # deferred: no cycle
+
+    n = graph.n
+    bands = _rank_bands(res, by_rank)
+    handles = build_worker_handles(
+        n, res.up_out, res.up_in, workers, mp_context=mp_context
+    )
+    fwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+    bwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+    local_nodes = 0
+    ws = acquire(graph)
+    try:
+        for bi, band in enumerate(bands):
+            if len(band) < _PARALLEL_BAND_MIN:
+                entries = []
+                for u in band:
+                    f = _pruned_upward_labels(u, res.up_out, bwd, ws)
+                    b = _pruned_upward_labels(u, res.up_in, fwd, ws)
+                    fwd[u] = f
+                    bwd[u] = b
+                    entries.append((u, f, b))
+                local_nodes += len(band)
+            else:
+                chunks = _contiguous_chunks(band, workers)
+                for handle, chunk in zip(handles, chunks):
+                    if chunk:
+                        handle.send(("band", chunk))
+                entries = []
+                for handle, chunk in zip(handles, chunks):
+                    if chunk:
+                        reply = handle.recv()
+                        entries.extend(reply[1])
+                for u, f, b in entries:
+                    fwd[u] = f
+                    bwd[u] = b
+            if bi + 1 < len(bands):  # nothing left to depend on the last
+                for handle in handles:
+                    handle.send(("sync", entries))
+                for handle in handles:
+                    handle.recv()
+    finally:
+        release(graph, ws)
+        for handle in handles:
+            handle.close()
+    info = {
+        "mode": "parallel",
+        "workers": workers,
+        "bands": len(bands),
+        "largest_band": max((len(b) for b in bands), default=0),
+        "parent_built_nodes": local_nodes,
+    }
+    return fwd, bwd, info
+
+
 def _flatten(
     labels: Sequence[List[Tuple[int, float, int]]],
 ) -> Tuple[array, array, array, array]:
@@ -187,6 +321,16 @@ class HubLabelIndex(QueryEngine):
         An existing :class:`ContractionResult` to label over, skipping
         the contraction phase (e.g. share one hierarchy between a
         :class:`~repro.baselines.ch.CHEngine` and its labels).
+    build_workers:
+        ``> 1`` fans the label build out over that many worker
+        processes (:func:`_build_labels_parallel`): nodes of equal
+        *level* in the upward DAG are independent given the finished
+        higher ranks, so whole rank bands build concurrently.  Labels
+        come out byte-identical to the serial build — the default
+        (``None``/``1``) keeps the serial descending-rank loop verbatim.
+    mp_context:
+        ``multiprocessing`` start method for the build workers
+        (default: ``fork`` where available).
     """
 
     name = "HL"
@@ -198,6 +342,8 @@ class HubLabelIndex(QueryEngine):
         hop_limit: int = 8,
         settle_limit: int = 64,
         contraction: Optional[ContractionResult] = None,
+        build_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
     ) -> None:
         super().__init__(graph)
         res = contraction if contraction is not None else contract_graph(
@@ -209,18 +355,36 @@ class HubLabelIndex(QueryEngine):
         by_rank = [0] * n
         for node, r in enumerate(res.rank):
             by_rank[r] = node
-        fwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
-        bwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
-        ws = acquire(graph)
-        try:
-            for r in range(n - 1, -1, -1):
-                u = by_rank[r]
-                fwd[u] = _pruned_upward_labels(u, res.up_out, bwd, ws)
-                bwd[u] = _pruned_upward_labels(u, res.up_in, fwd, ws)
-        finally:
-            release(graph, ws)
+        if build_workers is not None and build_workers > 1:
+            fwd, bwd, self.build_info = _build_labels_parallel(
+                graph, res, by_rank, build_workers, mp_context
+            )
+        else:
+            fwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+            bwd: List[Optional[List[Tuple[int, float, int]]]] = [None] * n
+            ws = acquire(graph)
+            try:
+                for r in range(n - 1, -1, -1):
+                    u = by_rank[r]
+                    fwd[u] = _pruned_upward_labels(u, res.up_out, bwd, ws)
+                    bwd[u] = _pruned_upward_labels(u, res.up_in, fwd, ws)
+            finally:
+                release(graph, ws)
+            self.build_info = {"mode": "serial", "workers": 1}
         self.fwd_head, self.fwd_hub, self.fwd_dist, self.fwd_parent = _flatten(fwd)
         self.bwd_head, self.bwd_hub, self.bwd_dist, self.bwd_parent = _flatten(bwd)
+        self._init_runtime_state()
+
+    def _init_runtime_state(self) -> None:
+        """Per-instance caches rebuilt on every boot path.
+
+        Called by ``__init__`` and by :func:`repro.core.serialize.
+        load_hl_index` (which bypasses ``__init__`` via ``__new__``), so
+        a bundle-loaded replica carries the same runtime state as a
+        freshly built index.
+        """
+        if not hasattr(self, "build_info"):
+            self.build_info = {"mode": "loaded"}
         self._npv = None  # cached zero-copy numpy views, built on first use
         # Target-side inversion memo: (backend flavour, target tuple) ->
         # prebuilt inversion structure.  Labels are immutable, so entries

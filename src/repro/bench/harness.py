@@ -32,11 +32,14 @@ from ..graph.graph import Graph
 __all__ = [
     "ENGINE_FACTORIES",
     "BuildRecord",
+    "OpenLoopRecord",
     "QueryRecord",
     "ServeRecord",
     "build_engine",
     "environment_metadata",
+    "latency_percentile",
     "run_closed_loop",
+    "run_open_loop",
     "time_distance_batch",
     "time_path_batch",
 ]
@@ -131,8 +134,100 @@ class ServeRecord:
     backend: str = field(default_factory=backend.active)
 
 
+@dataclass(frozen=True)
+class OpenLoopRecord:
+    """Latency picture of one open-loop serving run (the PR 5 dimension).
+
+    Open loop means requests arrive on a *schedule* (Poisson process or
+    bursts) regardless of whether earlier answers came back — the
+    arrival process, not the server, sets the offered load.  Latency is
+    measured from each request's **scheduled** arrival time, so a
+    server that falls behind accrues queueing delay in these numbers
+    instead of silently slowing the arrival clock (the classic
+    coordinated-omission mistake closed loops make).
+    """
+
+    engine: str
+    dataset: str
+    arrival: str  # "poisson" | "bursty"
+    offered_rps: float  # scheduled arrival rate, requests/second
+    requests: int
+    completed: int
+    expired: int  # deadline-shed (or rejected) before compute
+    duration_s: float  # first scheduled arrival -> last answer
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    #: Array backend active during the run (see BuildRecord).
+    backend: str = field(default_factory=backend.active)
+
+
+def latency_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    k = (len(sorted_values) - 1) * q
+    lo = int(k)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = k - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def run_open_loop(
+    engine: Optional[QueryEngine],
+    requests: Sequence[Request],
+    arrivals: Sequence[float],
+    cache=None,
+    submit_timeout: Optional[float] = None,
+    **server_kwargs,
+) -> Tuple[List[Optional[float]], float, dict]:
+    """Fire ``requests`` at their scheduled ``arrivals`` (seconds from t0).
+
+    One task per request sleeps until its arrival offset, submits, and
+    records ``completion - scheduled_arrival`` — queueing delay included
+    even when the event loop itself lagged the schedule.  Returns
+    ``(latencies_s, duration_s, server_stats)``; a latency of ``None``
+    marks a request shed by its ``submit_timeout`` deadline (or
+    rejected by backpressure) rather than answered.
+
+    ``engine=None`` with a ``pool=`` keyword serves through the
+    worker-process tier, same as :func:`run_closed_loop`.
+    """
+    from ..serve import Server  # local: keep harness import-light
+
+    async def _fire(server, req, at, t0, out, idx):
+        loop = asyncio.get_running_loop()
+        delay = t0 + at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            await server.submit(req, timeout=submit_timeout)
+        except Exception:
+            out[idx] = None  # shed (DeadlineExpired / ServerOverloaded)
+            return
+        out[idx] = loop.time() - (t0 + at)
+
+    async def _main():
+        server = Server(engine, cache=cache, **server_kwargs)
+        out: List[Optional[float]] = [None] * len(requests)
+        async with server:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await asyncio.gather(
+                *(
+                    _fire(server, req, at, t0, out, i)
+                    for i, (req, at) in enumerate(zip(requests, arrivals))
+                )
+            )
+            duration = loop.time() - t0
+        return out, duration, server.stats()
+
+    return asyncio.run(_main())
+
+
 def run_closed_loop(
-    engine: QueryEngine,
+    engine: Optional[QueryEngine],
     scripts: Sequence[Sequence[Request]],
     cache=None,
     **server_kwargs,
@@ -150,6 +245,9 @@ def run_closed_loop(
     timing covers the requests only, not server startup/shutdown.
     Import of :class:`repro.serve.Server` is deferred so the harness's
     figure-experiment users never pay for the serving layer.
+
+    ``engine=None`` plus a ``pool=`` keyword (forwarded to the server)
+    drives the same closed loop through the multi-process worker tier.
     """
     from ..serve import Server  # local: keep harness import-light
 

@@ -54,10 +54,27 @@ with ``frombuffer`` under the numpy backend) — no per-entry ``struct``
 packing anywhere on the fast paths, and the same bytes regardless of
 which :mod:`repro.backend` produced the columns, so bundles are
 byte-identical and freely interchangeable between backends.
+
+Buffer sources (the worker-tier substrate)
+------------------------------------------
+Every loader also accepts an in-memory buffer (``bytes`` / ``bytearray``
+/ ``memoryview``) or, via ``mmap=True``, a path to memory-map — the two
+transports a multi-process serving tier boots engine replicas from
+(:mod:`repro.serve.pool`).  Buffer loads are **zero-copy for the big
+read-only sections**: the CSR graph columns come up as
+``numpy.frombuffer`` views straight over the buffer under the numpy
+backend, and the hub-label columns come up as ``memoryview`` casts on
+*both* backends (plain-scalar indexing for the two-pointer merge-join,
+``numpy.frombuffer``-viewable for the batched kernels).  An mmap'd
+bundle therefore shares its label pages between every worker process
+that maps it — N replicas, one page-cache copy.  :func:`bundle_bytes`
+is the matching writer-side helper (one in-memory bundle to hand a
+worker over a pipe).
 """
 
 from __future__ import annotations
 
+import io
 import struct
 from array import array
 from typing import BinaryIO, List, Optional, Tuple, Union
@@ -73,6 +90,7 @@ __all__ = [
     "save_index",
     "load_index",
     "index_bytes",
+    "bundle_bytes",
     "save_hl_index",
     "load_hl_index",
     "save_graph",
@@ -99,7 +117,66 @@ _FLAG_STALL = 2
 # same little-endian bytes — the on-disk format is *backend-invariant*:
 # bundles written under either backend are byte-identical
 # (``tests/test_backend_parity.py`` pins this).
-def _read_exact(fh: BinaryIO, nbytes: int) -> bytes:
+class _BufferReader:
+    """File-like ``read()`` over a bytes-like object, serving zero-copy slices.
+
+    Every ``read`` returns a ``memoryview`` window into the underlying
+    buffer instead of a fresh ``bytes`` copy, which is what makes
+    buffer/mmap loads zero-copy: ``numpy.frombuffer`` and
+    ``memoryview.cast`` both view the window, and the views keep the
+    buffer (and an mmap behind it) alive for as long as the loaded
+    columns live.
+    """
+
+    __slots__ = ("_mv", "_pos")
+
+    def __init__(self, buf) -> None:
+        mv = memoryview(buf)
+        if mv.ndim != 1 or mv.itemsize != 1:
+            mv = mv.cast("B")
+        self._mv = mv
+        self._pos = 0
+
+    def read(self, nbytes: int = -1) -> memoryview:
+        if nbytes is None or nbytes < 0:
+            nbytes = len(self._mv) - self._pos
+        out = self._mv[self._pos : self._pos + nbytes]
+        self._pos += len(out)
+        return out
+
+
+#: Loader sources: a path, an open binary file, or an in-memory buffer.
+Source = Union[str, bytes, bytearray, memoryview, BinaryIO]
+
+
+def _open_source(source: Source, use_mmap: bool = False):
+    """Normalise a loader source to ``(file_like, owns_handle)``.
+
+    ``use_mmap=True`` (paths only) memory-maps the file read-only and
+    reads through a :class:`_BufferReader`, so the loaded columns view
+    the mapping directly — the OS page cache backs every process that
+    maps the same bundle, which is the worker-tier sharing story.  The
+    mapping is kept alive by the column views and reclaimed by GC; the
+    file descriptor is closed as soon as the map exists.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return _BufferReader(source), False
+    if isinstance(source, str):
+        if use_mmap:
+            import mmap as _mmap
+
+            with open(source, "rb") as f:
+                mapped = _mmap.mmap(f.fileno(), 0, access=_mmap.ACCESS_READ)
+            return _BufferReader(mapped), False
+        return open(source, "rb"), True
+    if use_mmap:
+        raise ValueError("mmap=True requires a filesystem path source")
+    return source, False
+
+
+def _read_exact(fh, nbytes: int):
+    """``nbytes`` from ``fh`` — ``bytes`` from files, a zero-copy
+    ``memoryview`` window from buffer sources."""
     buf = fh.read(nbytes)
     if len(buf) != nbytes:
         raise EOFError(
@@ -112,27 +189,55 @@ def _write_col(fh: BinaryIO, col) -> None:
     fh.write(col.tobytes())
 
 
-def _read_i64_col(fh: BinaryIO, count: int):
+def _read_i64_col(fh, count: int):
     """An int64 column of the *active* backend, straight off the bytes."""
     return backend.index_col_from_bytes(_read_exact(fh, 8 * count))
 
 
-def _read_f64_col(fh: BinaryIO, count: int):
+def _read_f64_col(fh, count: int):
     """A float64 column of the *active* backend, straight off the bytes."""
     return backend.float_col_from_bytes(_read_exact(fh, 8 * count))
 
 
-def _read_q_array(fh: BinaryIO, count: int) -> array:
-    """A stdlib ``array('q')`` (label columns stay stdlib, see hl.py)."""
-    return array("q", _read_exact(fh, 8 * count))
+def _read_q_array(fh, count: int) -> array:
+    """A stdlib ``array('q')`` (e.g. the shortcut-middle triples).
+
+    Filled via ``frombytes`` rather than the ``array(typecode, buf)``
+    constructor: the constructor treats a ``memoryview`` as an iterable
+    of byte values and would silently build garbage from buffer sources.
+    """
+    out = array("q")
+    out.frombytes(_read_exact(fh, 8 * count))
+    return out
 
 
-def _read_d_array(fh: BinaryIO, count: int) -> array:
-    return array("d", _read_exact(fh, 8 * count))
+def _read_d_array(fh, count: int) -> array:
+    out = array("d")
+    out.frombytes(_read_exact(fh, 8 * count))
+    return out
 
 
-def _read_i32_array(fh: BinaryIO, count: int) -> array:
-    return array("i", _read_exact(fh, 4 * count))
+def _read_i32_array(fh, count: int) -> array:
+    out = array("i")
+    out.frombytes(_read_exact(fh, 4 * count))
+    return out
+
+
+def _read_label_col(fh, count: int, typecode: str):
+    """One hub-label column: zero-copy from buffers, stdlib from files.
+
+    Buffer sources (bytes / mmap) return a read-only ``memoryview``
+    cast — no copy, plain Python scalars on indexing (so the two-pointer
+    merge-join keeps its speed), and ``numpy.frombuffer``-viewable for
+    the batched kernels — identically on both backends.  File sources
+    keep returning stdlib arrays, exactly as before.
+    """
+    buf = _read_exact(fh, 8 * count)
+    if isinstance(buf, memoryview):
+        return buf.cast(typecode)
+    out = array(typecode)
+    out.frombytes(buf)
+    return out
 
 
 def _write_adjacency(
@@ -212,15 +317,16 @@ def save_index(index: AHIndex, sink: Union[str, BinaryIO]) -> None:
             fh.close()
 
 
-def load_index(source: Union[str, BinaryIO], graph: Graph) -> AHIndex:
+def load_index(source: Source, graph: Graph, *, mmap: bool = False) -> AHIndex:
     """Reconstruct a queryable :class:`AHIndex` from ``source``.
 
-    ``graph`` must be the network the index was built on (used for path
-    validation metadata and the node-to-cell mapping); a node-count
-    mismatch is rejected.
+    ``source`` may be a path, an open binary file, or an in-memory
+    buffer; ``mmap=True`` memory-maps a path source.  ``graph`` must be
+    the network the index was built on (used for path validation
+    metadata and the node-to-cell mapping); a node-count mismatch is
+    rejected.
     """
-    own = isinstance(source, str)
-    fh = open(source, "rb") if own else source  # type: ignore[assignment]
+    fh, own = _open_source(source, mmap)
     try:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
@@ -281,14 +387,24 @@ def _load_index_body(fh: BinaryIO, graph: Graph) -> AHIndex:
 
 def index_bytes(index: Union[AHIndex, HubLabelIndex]) -> int:
     """Size of the serialized index in bytes (Figure 10a in real units)."""
-    import io
-
     buf = io.BytesIO()
     if isinstance(index, HubLabelIndex):
         save_hl_index(index, buf)
     else:
         save_index(index, buf)
     return buf.tell()
+
+
+def bundle_bytes(index: Union[AHIndex, HubLabelIndex]) -> bytes:
+    """The full :func:`save_bundle` image as one in-memory ``bytes``.
+
+    The transport :mod:`repro.serve.pool` ships to worker processes: one
+    serialization in the parent, then each worker boots its replica via
+    ``load_bundle(blob)`` with the big columns viewing the blob in place.
+    """
+    buf = io.BytesIO()
+    save_bundle(index, buf)
+    return buf.getvalue()
 
 
 # ----------------------------------------------------------------------
@@ -304,16 +420,17 @@ def _write_label_side(
     _write_col(fh, parent)
 
 
-def _read_label_side(fh: BinaryIO, n: int) -> Tuple[array, array, array, array]:
-    # Label columns stay stdlib arrays on both backends (the per-query
-    # two-pointer merge-join indexes them scalar-by-scalar; the numpy
-    # kernels wrap them in zero-copy views) — so the read path is
-    # backend-independent too.
-    head = _read_q_array(fh, n + 1)
+def _read_label_side(fh, n: int) -> Tuple:
+    # Label columns are backend-independent on the read path: stdlib
+    # arrays from file sources (the per-query two-pointer merge-join
+    # indexes them scalar-by-scalar; the numpy kernels wrap them in
+    # zero-copy views), read-only memoryview casts from buffer/mmap
+    # sources (same scalar indexing, zero copy — see _read_label_col).
+    head = _read_label_col(fh, n + 1, "q")
     (total,) = struct.unpack("<q", _read_exact(fh, 8))
-    hub = _read_q_array(fh, total)
-    dist = _read_d_array(fh, total)
-    parent = _read_q_array(fh, total)
+    hub = _read_label_col(fh, total, "q")
+    dist = _read_label_col(fh, total, "d")
+    parent = _read_label_col(fh, total, "q")
     return head, hub, dist, parent
 
 
@@ -363,15 +480,17 @@ def save_hl_index(index: HubLabelIndex, sink: Union[str, BinaryIO]) -> None:
             fh.close()
 
 
-def load_hl_index(source: Union[str, BinaryIO], graph: Graph) -> HubLabelIndex:
+def load_hl_index(
+    source: Source, graph: Graph, *, mmap: bool = False
+) -> HubLabelIndex:
     """Reconstruct a queryable :class:`HubLabelIndex` from ``source``.
 
     The loaded index answers distance *and* path queries without any
     rebuilding: labels, parent hubs and shortcut middles all come off
-    the file.
+    the file.  Buffer sources (``bytes`` or ``mmap=True`` paths) give
+    zero-copy read-only label columns — see :func:`_read_label_col`.
     """
-    own = isinstance(source, str)
-    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    fh, own = _open_source(source, mmap)
     try:
         magic = fh.read(len(_HL_MAGIC))
         if magic != _HL_MAGIC:
@@ -400,8 +519,10 @@ def _load_hl_body(fh: BinaryIO, graph: Graph) -> HubLabelIndex:
     index.graph = graph
     index.fwd_head, index.fwd_hub, index.fwd_dist, index.fwd_parent = fwd
     index.bwd_head, index.bwd_hub, index.bwd_dist, index.bwd_parent = bwd
-    index._npv = None
     index._middle = dict(zip(zip(a_col, b_col), mid_col))
+    # View cache + target-inversion memo (PR 4 state): without this a
+    # loaded index would crash on its first distance_table call.
+    index._init_runtime_state()
     return index
 
 
@@ -432,16 +553,17 @@ def save_graph(graph: Graph, sink: Union[str, BinaryIO]) -> None:
             fh.close()
 
 
-def load_graph(source: Union[str, BinaryIO]) -> Graph:
+def load_graph(source: Source, *, mmap: bool = False) -> Graph:
     """Reconstruct a :class:`Graph` from :func:`save_graph` output.
 
     Both CSR triples come straight off the file, so the load path never
     re-derives the reverse adjacency (and never allocates per-edge
     tuples): it is ``fromfile`` into six flat arrays plus the coordinate
-    columns.
+    columns.  From a buffer source under the numpy backend the six CSR
+    columns are ``frombuffer`` views over the buffer itself — read-only
+    and zero-copy.
     """
-    own = isinstance(source, str)
-    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    fh, own = _open_source(source, mmap)
     try:
         magic = fh.read(len(_GRAPH_MAGIC))
         if magic != _GRAPH_MAGIC:
@@ -494,16 +616,23 @@ def save_bundle(
 
 
 def load_bundle(
-    source: Union[str, BinaryIO],
+    source: Source, *, mmap: bool = False
 ) -> Tuple[Graph, Union[AHIndex, HubLabelIndex]]:
     """Load a ``(graph, index)`` pair written by :func:`save_bundle`.
 
     The index section's magic selects the loader, so callers get back
     whichever engine the bundle was saved with (``AHIDX1`` and
     ``HLIDX1`` magics are deliberately the same length).
+
+    ``source`` may also be an in-memory buffer (``bytes`` /
+    ``bytearray`` / ``memoryview``) or, with ``mmap=True``, a path to
+    memory-map — the worker-tier boot paths: a worker process hands
+    this either the bundle blob it received over a pipe or the shared
+    bundle path, and gets a replica whose big read-only columns view
+    that buffer in place (zero-copy under numpy; label columns
+    zero-copy on both backends).
     """
-    own = isinstance(source, str)
-    fh: BinaryIO = open(source, "rb") if own else source  # type: ignore[assignment]
+    fh, own = _open_source(source, mmap)
     try:
         graph = load_graph(fh)
         magic = fh.read(len(_MAGIC))

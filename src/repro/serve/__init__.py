@@ -17,8 +17,20 @@ serving client needs only this package::
     async with Server(engine, cache=True) as server:
         d = await server.distance(3, 999)
 
-See ``examples/serve_demo.py`` for the full tour and
-``benchmarks/test_serve_speed.py`` for the recorded throughput story.
+Scaling past one core, :mod:`repro.serve.pool` adds the multi-process
+worker tier: a :class:`WorkerPool` of engine replicas booted from a
+shared serialized bundle, pluggable into the same :class:`Server`::
+
+    from repro.serve import Server, WorkerPool
+
+    pool = WorkerPool("nh.bundle", workers=4, cache=True)
+    async with Server(None, pool=pool) as server:
+        d = await server.distance(3, 999)
+    pool.close()
+
+See ``examples/serve_demo.py`` / ``examples/scale_out.py`` for the full
+tour and ``benchmarks/test_serve_speed.py`` /
+``benchmarks/test_pool_speed.py`` for the recorded throughput story.
 """
 
 from ..baselines.base import (
@@ -27,6 +39,7 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
+from .pool import WorkerCrashed, WorkerPool
 from .server import DeadlineExpired, Server, ServerClosed, ServerOverloaded
 
 __all__ = [
@@ -38,4 +51,6 @@ __all__ = [
     "ServerClosed",
     "ServerOverloaded",
     "TableRequest",
+    "WorkerCrashed",
+    "WorkerPool",
 ]

@@ -1,0 +1,791 @@
+"""``repro.serve.pool`` — the multi-process worker tier.
+
+The single-process :class:`~repro.serve.Server` coalesces well, but every
+planner batch still executes on one core.  This module scales past that
+with a **process pool over a shared bundle substrate**:
+
+* Each worker process boots its own engine replica from the serialized
+  bundle (:func:`repro.core.serialize.load_bundle`) — either from an
+  mmap'd bundle *path* (every worker maps the same file, so the OS page
+  cache holds one copy of the read-only label columns for N replicas) or
+  from bundle *bytes* shipped once over the worker's pipe.  Either way
+  the replica's big columns are zero-copy views over the mapped/received
+  buffer.
+* The dispatcher (:meth:`WorkerPool.execute`) splits one planner batch
+  into per-worker sub-batches and merges the replies positionally.
+  Splitting is **group-preserving**: requests are first grouped exactly
+  the way :class:`~repro.baselines.base.QueryPlanner` would group them
+  (shared source, identical target tuple), and whole groups are assigned
+  to workers greedy-balanced by estimated pair count — so each worker
+  runs the same kernels on the same groups the single-process planner
+  would have, and by the planner's exactness contract (answers are
+  bit-identical to direct engine calls no matter the grouping) the
+  merged results are **bit-identical to the single-process path**.
+* Results travel back as one packed ``float64`` column per sub-batch
+  (shape recovered from the requests the dispatcher kept), so the
+  pickle cost per answer is a memcpy, not per-float object churn —
+  and the exact IEEE bits survive the trip.
+* A shared :class:`~repro.baselines.base.DistanceCache` stays in the
+  dispatcher process: point hits are answered before any dispatch, and
+  freshly computed point distances are stored back after the merge —
+  the same consult-per-batch discipline the planner uses.
+
+**Crash handling**: a worker that dies (OOM-kill, segfault, operator
+``kill -9``) is detected at ``send``/``recv`` time, respawned from the
+same bundle spec, and its in-flight sub-batch is retried (once by
+default).  A sub-batch that keeps killing workers is failed *cleanly* —
+its requests get a :class:`WorkerCrashed` result/exception, every other
+sub-batch of the same dispatch completes normally, in-flight replies
+are always drained so pipes never desynchronise, and the pool ends the
+dispatch with a full complement of live workers.
+
+The same :class:`WorkerHandle` substrate (process + duplex pipe +
+ready-handshake + respawn) also runs the **parallel hub-label build**:
+:class:`repro.baselines.hl.HubLabelIndex` fans rank bands out to
+``build``-role workers (see :func:`build_worker_handles` and the build
+loop below), which hold the upward search graphs and a growing replica
+of the finished labels, and return per-node label entries band by band.
+
+Everything here is synchronous; :class:`repro.serve.Server` wires a
+pool in as its third execution tier by dispatching off-loop (the event
+loop keeps accepting submissions while workers compute).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from array import array
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import backend
+from ..baselines.base import (
+    DistanceCache,
+    DistanceRequest,
+    OneToManyRequest,
+    Request,
+    TableRequest,
+)
+
+__all__ = [
+    "CrashRequest",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerPool",
+    "build_worker_handles",
+]
+
+#: Exit code a worker uses for the deliberate test-hook crash, so a
+#: CrashRequest death is distinguishable from a real fault in CI logs.
+_CRASH_EXIT_CODE = 86
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died; raised (or returned per-request) after the
+    respawn-and-retry budget is exhausted."""
+
+
+class CrashRequest(Request):
+    """Test hook: a request that makes the worker ``os._exit`` mid-batch.
+
+    Exists so the crash-handling path (respawn, retry, clean failure) is
+    testable *deterministically* — the worker dies while the sub-batch
+    is in flight, exactly the race a real OOM-kill hits.  Never emitted
+    by production code; :meth:`Server.submit` rejects it at the door
+    like any unknown request type.
+    """
+
+    __slots__ = ()
+    kind = "crash"
+
+
+def _request_pairs(req: Request) -> int:
+    """Estimated kernel work for load balancing: underlying (s, t) pairs."""
+    if isinstance(req, DistanceRequest):
+        return 1
+    if isinstance(req, OneToManyRequest):
+        return max(1, len(req.targets))
+    if isinstance(req, TableRequest):
+        return max(1, len(req.sources) * len(req.targets))
+    return 1
+
+
+def _group_key(idx: int, req: Request):
+    """The planner's grouping key, reproduced for split planning.
+
+    Point requests group by shared source, one-to-many and table
+    requests by identical target tuple — keeping every group on one
+    worker preserves the exact kernel routing (and kernel batch sizes)
+    of the single-process planner.
+    """
+    if isinstance(req, DistanceRequest):
+        return ("p", req.source)
+    if isinstance(req, OneToManyRequest):
+        return ("o", req.targets)
+    if isinstance(req, TableRequest):
+        return ("t", req.targets)
+    return ("x", idx)  # unknown kinds stay singleton groups
+
+
+def plan_split(
+    items: Sequence[Tuple[int, Request]], workers: int
+) -> List[List[Tuple[int, Request]]]:
+    """Assign ``(original_index, request)`` items to ``workers`` buckets.
+
+    Groups (in the planner's sense) are kept whole *up to the fair
+    share*: a group whose estimated cost exceeds ``total / workers`` —
+    a skewed workload's hot order pool routinely is most of the batch —
+    is chunked at request granularity so one worker cannot become the
+    whole dispatch's critical path.  Splitting a group never changes
+    answers (the planner contract makes every grouping bit-identical to
+    direct calls); it only trades a wider table kernel for balance, and
+    only when the alternative is idle workers.  Groups are then placed
+    largest-first onto the least-loaded worker (ties: earliest first
+    appearance, lowest worker id), and each bucket is re-sorted by
+    original index so per-worker request order is deterministic.  The
+    whole plan is deterministic for a given batch.
+    """
+    groups: "OrderedDict[tuple, List]" = OrderedDict()
+    total = 0
+    for idx, req in items:
+        entry = groups.setdefault(_group_key(idx, req), [0, []])
+        pairs = _request_pairs(req)
+        entry[0] += pairs
+        entry[1].append((idx, req, pairs))
+        total += pairs
+    fair_share = max(1, -(-total // workers))  # ceil
+    pieces: List[List] = []
+    for cost, members in groups.values():
+        if cost <= fair_share or len(members) < 2:
+            pieces.append([cost, members])
+            continue
+        # Chunk the oversized group into fair-share-sized pieces.
+        piece_cost = 0
+        piece: List = []
+        for member in members:
+            piece.append(member)
+            piece_cost += member[2]
+            if piece_cost >= fair_share:
+                pieces.append([piece_cost, piece])
+                piece_cost = 0
+                piece = []
+        if piece:
+            pieces.append([piece_cost, piece])
+    order = sorted(pieces, key=lambda g: (-g[0], g[1][0][0]))
+    loads = [0] * workers
+    buckets: List[List[Tuple[int, Request]]] = [[] for _ in range(workers)]
+    for cost, members in order:
+        w = min(range(workers), key=lambda j: (loads[j], j))
+        loads[w] += cost
+        buckets[w].extend((idx, req) for idx, req, _ in members)
+    for bucket in buckets:
+        bucket.sort(key=lambda item: item[0])
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# Result transport: one packed float64 column per sub-batch
+# ----------------------------------------------------------------------
+def _pack_results(requests: Sequence[Request], results: Sequence) -> bytes:
+    """Flatten a sub-batch's answers into one little-endian f64 block.
+
+    The dispatcher knows every answer's shape from the requests it kept,
+    so no framing is needed; float64 round-trips are bit-exact, and the
+    unpack side hands back *plain Python floats* — the same types the
+    single-process planner path produces.
+    """
+    out = array("d")
+    for req, res in zip(requests, results):
+        if isinstance(req, DistanceRequest):
+            out.append(res)
+        elif isinstance(req, OneToManyRequest):
+            out.extend(res)
+        else:  # TableRequest
+            for row in res:
+                out.extend(row)
+    return out.tobytes()
+
+
+def _unpack_results(requests: Sequence[Request], blob) -> List[object]:
+    flat = memoryview(blob).cast("d")
+    results: List[object] = []
+    pos = 0
+    for req in requests:
+        if isinstance(req, DistanceRequest):
+            results.append(flat[pos])
+            pos += 1
+        elif isinstance(req, OneToManyRequest):
+            k = len(req.targets)
+            results.append(flat[pos : pos + k].tolist())
+            pos += k
+        else:
+            nt = len(req.targets)
+            rows = [
+                flat[pos + i * nt : pos + (i + 1) * nt].tolist()
+                for i in range(len(req.sources))
+            ]
+            results.append(rows)
+            pos += len(req.sources) * nt
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker process mains
+# ----------------------------------------------------------------------
+def _worker_main(conn, spec: dict) -> None:
+    """Entry point of every pool process; ``spec['role']`` selects the loop.
+
+    Boots, sends a ``("ready", n)`` handshake (so load errors surface at
+    spawn time in the parent, not as a hang), then serves commands until
+    ``("stop",)`` or parent death (EOF).
+    """
+    try:
+        if spec.get("backend"):
+            backend.force_backend(spec["backend"])
+        if spec["role"] == "serve":
+            from ..baselines.base import QueryPlanner
+            from ..core.serialize import load_bundle
+
+            path = spec.get("bundle_path")
+            if path is not None:
+                graph, engine = load_bundle(path, mmap=spec.get("mmap", True))
+            else:
+                graph, engine = load_bundle(spec["bundle"])
+            planner = QueryPlanner(engine)
+            conn.send(("ready", graph.n))
+            _serve_loop(conn, planner)
+        elif spec["role"] == "build":
+            conn.send(("ready", spec["n"]))
+            _build_loop(conn, spec)
+        else:
+            raise ValueError(f"unknown worker role {spec['role']!r}")
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass  # parent went away; nothing to report to
+    except Exception as exc:  # boot failure: tell the parent, then exit
+        try:
+            conn.send(("err", exc))
+        except Exception:
+            pass
+
+
+def _serve_loop(conn, planner) -> None:
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "stop":
+            conn.send(("bye",))
+            return
+        if op == "batch":
+            requests = msg[1]
+            if any(isinstance(r, CrashRequest) for r in requests):
+                os._exit(_CRASH_EXIT_CODE)  # test hook: die mid-batch
+            t0 = time.perf_counter()
+            try:
+                results = planner.execute(requests)
+            except Exception as exc:
+                conn.send(("err", exc))
+                continue
+            busy = time.perf_counter() - t0
+            conn.send(("ok", _pack_results(requests, results), busy))
+        elif op == "stats":
+            conn.send(("ok", planner.stats()))
+        else:
+            conn.send(("err", ValueError(f"unknown worker op {op!r}")))
+
+
+def _build_loop(conn, spec: dict) -> None:
+    """Parallel hub-label build worker: bands in, label entries out.
+
+    Holds the contraction's upward graphs plus a local replica of every
+    finished label (grown by ``sync`` broadcasts), so each ``band``
+    command runs the exact pruned upward searches the serial build runs
+    — same inputs, same entries, byte-identical flattened columns.
+    """
+    from ..baselines.hl import _pruned_upward_labels
+    from ..graph.workspace import SearchWorkspace
+
+    up_out, up_in, n = spec["up_out"], spec["up_in"], spec["n"]
+    fwd: List[Optional[list]] = [None] * n
+    bwd: List[Optional[list]] = [None] * n
+    ws = SearchWorkspace(n)
+    while True:
+        msg = conn.recv()
+        op = msg[0]
+        if op == "stop":
+            conn.send(("bye",))
+            return
+        if op == "band":
+            t0 = time.perf_counter()
+            out = []
+            for u in msg[1]:
+                f = _pruned_upward_labels(u, up_out, bwd, ws)
+                b = _pruned_upward_labels(u, up_in, fwd, ws)
+                fwd[u] = f
+                bwd[u] = b
+                out.append((u, f, b))
+            conn.send(("ok", out, time.perf_counter() - t0))
+        elif op == "sync":
+            for u, f, b in msg[1]:
+                fwd[u] = f
+                bwd[u] = b
+            conn.send(("ok",))
+        else:
+            conn.send(("err", ValueError(f"unknown build op {op!r}")))
+
+
+def _default_context_name() -> str:
+    """``fork`` where the platform offers it (cheap respawn, no spec
+    pickling), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# ----------------------------------------------------------------------
+# WorkerHandle: one process + pipe + respawn — the shared substrate
+# ----------------------------------------------------------------------
+#: Upper bound on a worker's boot (spawn -> ready handshake).  Bounded
+#: because a respawn can fork from a multi-threaded parent (the pool
+#: dispatch thread), where a child wedged on an inherited lock before
+#: reaching our code would otherwise hang the dispatch — and with it the
+#: whole server — forever.  A timeout turns that wedge into the
+#: already-handled WorkerCrashed path.  (``mp_context="spawn"`` avoids
+#: fork-with-threads entirely, at the cost of re-importing per spawn.)
+_BOOT_TIMEOUT_S = 120.0
+
+
+class WorkerHandle:
+    """One worker process with a duplex pipe and a respawn recipe.
+
+    The spec is kept so :meth:`respawn` can boot an identical
+    replacement after a crash — for serve workers that means reloading
+    the engine replica from the same bundle.  All pipe errors are
+    normalised to :class:`WorkerCrashed` so callers have exactly one
+    failure mode to handle; a boot that neither fails nor reports ready
+    within :data:`_BOOT_TIMEOUT_S` counts as crashed too.
+    """
+
+    def __init__(self, spec: dict, ctx=None) -> None:
+        self.spec = spec
+        self._ctx = ctx if ctx is not None else multiprocessing.get_context(
+            _default_context_name()
+        )
+        self.respawns = 0
+        self.process = None
+        self.conn = None
+        self.ready_info = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self.spec), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(_BOOT_TIMEOUT_S):
+                parent_conn.close()
+                proc.terminate()
+                proc.join(timeout=5)
+                raise WorkerCrashed(
+                    f"worker pid {proc.pid} never reported ready within "
+                    f"{_BOOT_TIMEOUT_S:.0f}s; terminated"
+                )
+            msg = parent_conn.recv()
+        except EOFError:
+            parent_conn.close()
+            proc.join()
+            raise WorkerCrashed(
+                f"worker pid {proc.pid} died during boot "
+                f"(exitcode {proc.exitcode})"
+            ) from None
+        if msg[0] == "err":
+            parent_conn.close()
+            proc.join()
+            raise msg[1]
+        self.conn = parent_conn
+        self.process = proc
+        self.ready_info = msg[1]
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    def send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashed(
+                f"worker pid {self.pid} is gone (send failed: {exc})"
+            ) from None
+
+    def recv(self):
+        """One reply; remote errors re-raise, dead pipes -> WorkerCrashed."""
+        try:
+            reply = self.conn.recv()
+        except (EOFError, OSError):
+            raise WorkerCrashed(
+                f"worker pid {self.pid} died mid-command "
+                f"(exitcode {self.process.exitcode})"
+            ) from None
+        if reply[0] == "err":
+            raise reply[1]
+        return reply
+
+    def call(self, message):
+        self.send(message)
+        return self.recv()
+
+    def respawn(self) -> None:
+        """Discard the (dead or wedged) process and boot a replacement."""
+        self._discard()
+        self.respawns += 1
+        self._spawn()
+
+    def _discard(self) -> None:
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5)
+            self.process = None
+
+    def close(self) -> None:
+        """Polite shutdown; falls back to terminate on any pipe trouble."""
+        if self.conn is not None:
+            try:
+                self.conn.send(("stop",))
+                self.conn.recv()  # ("bye",)
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self._discard()
+
+
+def build_worker_handles(
+    n: int,
+    up_out,
+    up_in,
+    workers: int,
+    mp_context: Optional[str] = None,
+    backend_name: Optional[str] = None,
+) -> List[WorkerHandle]:
+    """Spawn ``workers`` build-role handles sharing one upward-graph spec.
+
+    Under the default ``fork`` context the upward graphs are inherited
+    copy-on-write (no pickling); under ``spawn`` they are pickled once
+    per worker.  Used by the parallel
+    :class:`~repro.baselines.hl.HubLabelIndex` build.
+    """
+    ctx = multiprocessing.get_context(mp_context or _default_context_name())
+    spec = {
+        "role": "build",
+        "n": n,
+        "up_out": up_out,
+        "up_in": up_in,
+        "backend": backend_name or backend.active(),
+    }
+    return [WorkerHandle(spec, ctx) for _ in range(workers)]
+
+
+# ----------------------------------------------------------------------
+# WorkerPool: the sharded serving tier
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """Sharded batch execution over N bundle-booted engine replicas.
+
+    Parameters
+    ----------
+    bundle:
+        What workers boot from — a bundle *path* (each worker mmaps it;
+        preferred: one page-cache copy serves every replica), bundle
+        *bytes* (shipped over each worker's pipe at spawn), or a live
+        index object (serialized to bytes once, here).
+    workers:
+        Replica count.
+    cache:
+        Optional shared :class:`DistanceCache` (or ``True`` for a
+        default-sized one), consulted in the dispatcher before any
+        sub-batch is sent and refilled from fresh point answers —
+        planner rule 3, lifted one tier up.
+    mp_context:
+        ``multiprocessing`` start method (default: ``fork`` where
+        available, else ``spawn``).
+    backend_name:
+        Array backend forced in each worker (default: the parent's
+        active backend, so an A/B benchmark's ``backend.forced`` scope
+        propagates).
+    max_retries:
+        How many times a crashed sub-batch is retried on a fresh worker
+        before its requests are failed with :class:`WorkerCrashed`.
+    mmap:
+        For path bundles: mmap the file (default) instead of reading it.
+
+    ``execute`` is the whole query surface: one heterogeneous request
+    batch in, positionally aligned results out, bit-identical to the
+    single-process :class:`~repro.baselines.base.QueryPlanner` path.
+    The pool is not thread-safe; :class:`repro.serve.Server` serialises
+    access through one dispatch thread.
+    """
+
+    def __init__(
+        self,
+        bundle,
+        *,
+        workers: int = 2,
+        cache=None,
+        mp_context: Optional[str] = None,
+        backend_name: Optional[str] = None,
+        max_retries: int = 1,
+        mmap: bool = True,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if cache is True:
+            cache = DistanceCache()
+        self.cache = cache
+        self.max_retries = max_retries
+        spec: Dict[str, object] = {
+            "role": "serve",
+            "backend": backend_name or backend.active(),
+        }
+        if isinstance(bundle, str):
+            spec["bundle_path"] = bundle
+            spec["mmap"] = mmap
+            self.transport = "mmap-path" if mmap else "file-path"
+        elif isinstance(bundle, (bytes, bytearray, memoryview)):
+            spec["bundle"] = bytes(bundle)
+            self.transport = "pipe-bytes"
+        elif hasattr(bundle, "graph"):  # a live index object
+            from ..core.serialize import bundle_bytes
+
+            spec["bundle"] = bundle_bytes(bundle)
+            self.transport = "pipe-bytes"
+        else:
+            raise TypeError(
+                "bundle must be a path, bytes, or an index object; got "
+                f"{type(bundle).__name__!r}"
+            )
+        ctx = multiprocessing.get_context(mp_context or _default_context_name())
+        self._handles = [WorkerHandle(spec, ctx) for _ in range(workers)]
+        #: Node count of the bundled graph (from the ready handshake) —
+        #: what Server.submit validates request node ids against.
+        self.n: int = self._handles[0].ready_info
+        self._closed = False
+        self._t0 = time.perf_counter()
+        self._dispatches = 0
+        self._imbalance_sum = 0.0
+        self._wstats = [
+            {"batches": 0, "requests": 0, "pairs": 0, "busy_s": 0.0}
+            for _ in self._handles
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return len(self._handles)
+
+    @property
+    def handles(self) -> List[WorkerHandle]:
+        """The live worker handles (exposed for tests/chaos tooling)."""
+        return self._handles
+
+    def pids(self) -> List[Optional[int]]:
+        return [h.pid for h in self._handles]
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, requests: Sequence[Request], *, return_exceptions: bool = False
+    ):
+        """Answer a heterogeneous batch across the worker replicas.
+
+        Results align with ``requests`` and are bit-identical to
+        ``QueryPlanner(engine).execute(requests)`` in one process.  A
+        sub-batch whose worker crashes (beyond the retry budget) fails
+        *only its own requests*: with ``return_exceptions=True`` those
+        slots hold the :class:`WorkerCrashed` instance (the Server tier
+        maps them onto the right futures); otherwise the first failure
+        raises — but only after every in-flight reply has been drained,
+        so the pool is always left consistent and fully respawned.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        requests = list(requests)
+        if not requests:
+            return []
+        results: List[object] = [None] * len(requests)
+        done = [False] * len(requests)
+
+        # Cache pre-pass (point requests only), one lock acquisition.
+        cache = self.cache
+        if cache is not None:
+            point = [
+                (i, r) for i, r in enumerate(requests)
+                if isinstance(r, DistanceRequest)
+            ]
+            if point:
+                got = cache.lookup_many([(r.source, r.target) for _, r in point])
+                for (i, _), value in zip(point, got):
+                    if value is not None:
+                        results[i] = value
+                        done[i] = True
+
+        pending = [(i, r) for i, r in enumerate(requests) if not done[i]]
+        plan = plan_split(pending, len(self._handles))
+
+        # Phase 1: send every sub-batch (workers start computing in
+        # parallel); a send that hits a dead pipe is deferred to the
+        # recv phase's retry path so it cannot stall the other workers.
+        dispatched: List[Tuple[int, List[Tuple[int, Request]], bool]] = []
+        for w, sub in enumerate(plan):
+            if not sub:
+                continue
+            reqs = [r for _, r in sub]
+            try:
+                self._handles[w].send(("batch", reqs))
+                sent = True
+            except WorkerCrashed:
+                sent = False
+            dispatched.append((w, sub, sent))
+
+        # Phase 2: collect replies in dispatch order, retrying crashed
+        # sub-batches synchronously on respawned workers.  Every
+        # dispatched sub-batch is resolved here — success, remote
+        # error, or WorkerCrashed — so no reply is ever left in a pipe.
+        pair_loads = []
+        first_error: Optional[BaseException] = None
+        for w, sub, sent in dispatched:
+            reqs = [r for _, r in sub]
+            outcome: object
+            try:
+                if not sent:
+                    reply = self._retry_sub(w, reqs)
+                else:
+                    try:
+                        reply = self._handles[w].recv()
+                    except WorkerCrashed:
+                        reply = self._retry_sub(w, reqs)
+                sub_results = _unpack_results(reqs, reply[1])
+                stats = self._wstats[w]
+                stats["batches"] += 1
+                stats["requests"] += len(reqs)
+                pairs = sum(_request_pairs(r) for r in reqs)
+                stats["pairs"] += pairs
+                stats["busy_s"] += reply[2]
+                pair_loads.append(pairs)
+                for (i, _), value in zip(sub, sub_results):
+                    results[i] = value
+                continue
+            except Exception as exc:  # WorkerCrashed or remote error
+                outcome = exc
+            for i, _ in sub:
+                results[i] = outcome
+            if first_error is None:
+                first_error = outcome
+
+        self._dispatches += 1
+        if len(pair_loads) > 1:
+            mean = sum(pair_loads) / len(pair_loads)
+            self._imbalance_sum += (max(pair_loads) / mean) if mean else 1.0
+        elif pair_loads:
+            self._imbalance_sum += 1.0
+
+        # Cache post-pass: store freshly *computed* point distances
+        # (``pending`` excludes the pre-pass hits by construction).
+        if cache is not None:
+            fresh = [
+                ((r.source, r.target), results[i])
+                for i, r in pending
+                if isinstance(r, DistanceRequest) and isinstance(results[i], float)
+            ]
+            if fresh:
+                cache.store_many(fresh)
+
+        if first_error is not None and not return_exceptions:
+            raise first_error
+        return results
+
+    def _retry_sub(self, w: int, reqs: List[Request]):
+        """Respawn worker ``w`` and re-run its sub-batch, bounded.
+
+        Always leaves slot ``w`` holding a *live* worker — even on the
+        giving-up path — so one poisonous sub-batch cannot shrink the
+        pool.
+        """
+        handle = self._handles[w]
+        for _ in range(self.max_retries):
+            handle.respawn()
+            try:
+                return handle.call(("batch", reqs))
+            except WorkerCrashed:
+                continue
+            # a remote ("err", exc) reply propagates to the caller
+        handle.respawn()
+        raise WorkerCrashed(
+            f"worker {w} died {self.max_retries + 1}x on the same "
+            f"{len(reqs)}-request sub-batch; requests failed, worker respawned"
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The worker-tier picture: per-worker counters + dispatch shape.
+
+        ``busy_s`` is compute time measured inside each worker;
+        ``idle_s`` is the rest of that worker's lifetime (dispatch gaps
+        + IPC).  ``mean_dispatch_imbalance`` is the mean over dispatches
+        of ``max(sub-batch pairs) / mean(sub-batch pairs)`` — 1.0 is a
+        perfectly even split.
+        """
+        wall = time.perf_counter() - self._t0
+        per_worker = []
+        for handle, stats in zip(self._handles, self._wstats):
+            per_worker.append(
+                {
+                    "pid": handle.pid,
+                    "batches": stats["batches"],
+                    "requests": stats["requests"],
+                    "pairs": stats["pairs"],
+                    "busy_s": round(stats["busy_s"], 6),
+                    "idle_s": round(max(0.0, wall - stats["busy_s"]), 6),
+                    "respawns": handle.respawns,
+                }
+            )
+        out = {
+            "workers": len(self._handles),
+            "transport": self.transport,
+            "dispatches": self._dispatches,
+            "mean_dispatch_imbalance": round(
+                self._imbalance_sum / self._dispatches, 4
+            )
+            if self._dispatches
+            else 0.0,
+            "respawns": sum(h.respawns for h in self._handles),
+            "per_worker": per_worker,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    def worker_planner_stats(self) -> List[dict]:
+        """Each replica's planner counters (kernel routing per worker)."""
+        return [h.call(("stats",))[1] for h in self._handles]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            handle.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

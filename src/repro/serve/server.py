@@ -43,20 +43,34 @@ rejection counts, and the planner's kernel/cache counters (cache hit
 rate included when a :class:`~repro.baselines.base.DistanceCache` is
 attached).
 
-The compute itself is synchronous CPython/numpy; by default batches run
-inline on the event loop (simplest, and correct for CPU-bound kernels —
-the loop would be compute-bound either way).  Passing an ``executor``
-(e.g. ``concurrent.futures.ThreadPoolExecutor(1)``) moves planner
-execution off-loop so the loop keeps accepting submissions while a
-batch computes; the shared :class:`DistanceCache` and the HL inversion
-memo are lock-guarded precisely so that worker threads and the event
-loop can share them.
+The compute itself is synchronous CPython/numpy and runs in one of
+**three tiers**:
+
+* **inline** (default): batches run on the event loop — simplest, and
+  correct for CPU-bound kernels (the loop would be compute-bound either
+  way).
+* **executor**: passing an ``executor`` (e.g. ``concurrent.futures.
+  ThreadPoolExecutor(1)``) moves planner execution off-loop so the loop
+  keeps accepting submissions while a batch computes; the shared
+  :class:`DistanceCache` and the HL inversion memo are lock-guarded
+  precisely so that worker threads and the event loop can share them.
+* **pool**: passing a :class:`~repro.serve.pool.WorkerPool` shards each
+  coalesced batch across N worker *processes*, each serving an engine
+  replica booted from the shared bundle — the tier that scales past one
+  core (and past the GIL).  Dispatch always runs off-loop (the server
+  keeps a one-thread executor for it), results merge bit-identically to
+  the single-process planner path, and a sub-batch whose worker crashed
+  beyond the retry budget fails only its own futures — the rest of the
+  batch completes.  ``stats()["pool"]`` carries the worker-tier picture
+  (per-worker batches, busy/idle, dispatch imbalance, respawns).
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 from collections import deque
+from functools import partial
 from typing import Deque, Iterable, List, Optional, Sequence
 
 from ..baselines.base import (
@@ -68,6 +82,7 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
+from .pool import WorkerPool
 
 __all__ = [
     "DeadlineExpired",
@@ -118,12 +133,25 @@ class Server:
         ``submit`` wait (default) or raise :class:`ServerOverloaded`.
     executor:
         Optional ``concurrent.futures`` executor; batches run there via
-        ``run_in_executor`` instead of inline on the event loop.
+        ``run_in_executor`` instead of inline on the event loop.  In
+        pool mode this executor (or an internally created one-thread
+        executor) carries the dispatch calls.
     planner:
         A preconfigured :class:`QueryPlanner` to serve through (its own
         cache included).  Mutually exclusive with ``cache`` — passing
         both would silently serve without the cache you asked for, so
         it raises instead.
+    pool:
+        A :class:`~repro.serve.pool.WorkerPool` to execute batches on —
+        the multi-process tier.  ``engine`` may then be ``None`` (the
+        pool's bundle already holds the graph; request validation uses
+        the pool's node count).  Mutually exclusive with ``cache`` /
+        ``planner`` — the pool's own shared cache fills that role
+        (``WorkerPool(..., cache=...)``).
+    close_pool:
+        When true, :meth:`close` also closes the pool.  Default False:
+        a pool is typically shared (and possibly reused across servers),
+        so its lifecycle stays with whoever built it.
 
     A server binds to the event loop it first runs under — create and
     use it inside one ``asyncio.run``.  ``async with Server(...)`` is
@@ -132,7 +160,7 @@ class Server:
 
     def __init__(
         self,
-        engine: QueryEngine,
+        engine: Optional[QueryEngine],
         *,
         cache=None,
         window_s: float = 0.0,
@@ -141,6 +169,8 @@ class Server:
         overflow: str = "wait",
         executor=None,
         planner: Optional[QueryPlanner] = None,
+        pool: Optional[WorkerPool] = None,
+        close_pool: bool = False,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -154,10 +184,39 @@ class Server:
             raise ValueError(
                 "pass either planner= (with its own cache) or cache=, not both"
             )
+        if pool is not None and (cache is not None or planner is not None):
+            raise ValueError(
+                "in pool mode the WorkerPool owns batch execution and the "
+                "shared cache — pass cache= to WorkerPool, not to Server"
+            )
+        if pool is None and engine is None:
+            raise ValueError("engine may only be None when a pool is given")
         if cache is True:
             cache = DistanceCache()
         self.engine = engine
-        self.planner = planner if planner is not None else QueryPlanner(engine, cache=cache)
+        self.pool = pool
+        self.close_pool = close_pool
+        self._own_executor = None
+        if pool is not None:
+            self.planner = None
+            self._n = pool.n
+            if engine is not None and engine.graph.n != pool.n:
+                raise ValueError(
+                    f"engine graph has {engine.graph.n} nodes but the pool's "
+                    f"bundle has {pool.n}"
+                )
+            if executor is None:
+                # Dispatch must leave the event loop free — that is the
+                # point of the pool tier — so it always runs on a thread.
+                executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-pool-dispatch"
+                )
+                self._own_executor = executor
+        else:
+            self.planner = (
+                planner if planner is not None else QueryPlanner(engine, cache=cache)
+            )
+            self._n = engine.graph.n
         self.window_s = window_s
         self.max_batch = max_batch
         self.max_queue = max_queue
@@ -173,6 +232,7 @@ class Server:
         self._expired = 0
         self._rejected = 0
         self._cancelled = 0
+        self._worker_failed = 0
         self._batches = 0
         self._coalesced = 0
         self._largest_batch = 0
@@ -207,6 +267,10 @@ class Server:
             await self._task
         # Anyone still parked on backpressure can only fail now.
         self._release_capacity_waiters()
+        if self._own_executor is not None:
+            self._own_executor.shutdown(wait=True)
+        if self.close_pool and self.pool is not None:
+            self.pool.close()
 
     async def __aenter__(self) -> "Server":
         return await self.start()
@@ -223,9 +287,10 @@ class Server:
         A bad request that reached the planner would raise mid-batch and
         fail every *other* request coalesced alongside it; checking node
         ranges and the concrete type here confines the error to the one
-        caller who made it.
+        caller who made it.  (In pool mode ``n`` comes from the pool's
+        bundle handshake — no engine needs to live in this process.)
         """
-        n = self.engine.graph.n
+        n = self._n
         if isinstance(request, DistanceRequest):
             ok = 0 <= request.source < n and 0 <= request.target < n
         elif isinstance(request, OneToManyRequest):
@@ -355,7 +420,17 @@ class Server:
                 continue
             requests = [item.request for item in batch]
             try:
-                if self.executor is not None:
+                if self.pool is not None:
+                    # Pool tier: shard across worker processes, always
+                    # off-loop.  return_exceptions=True so one crashed
+                    # sub-batch fails only its own futures below.
+                    results = await loop.run_in_executor(
+                        self.executor,
+                        partial(
+                            self.pool.execute, requests, return_exceptions=True
+                        ),
+                    )
+                elif self.executor is not None:
                     results = await loop.run_in_executor(
                         self.executor, self.planner.execute, requests
                     )
@@ -379,8 +454,15 @@ class Server:
             self._batch_histogram[bucket] = self._batch_histogram.get(bucket, 0) + 1
             for item, result in zip(batch, results):
                 if not item.future.done():
-                    self._completed += 1
-                    item.future.set_result(result)
+                    if isinstance(result, BaseException):
+                        # Pool tier: this request's sub-batch crashed its
+                        # worker past the retry budget; fail it cleanly,
+                        # its batch-mates above/below still complete.
+                        self._worker_failed += 1
+                        item.future.set_exception(result)
+                    else:
+                        self._completed += 1
+                        item.future.set_result(result)
                 else:
                     # Cancelled mid-batch (possible in executor mode):
                     # account for it so every *admitted* request lands in
@@ -411,8 +493,15 @@ class Server:
         8: 3}`` reads: 40 singleton batches, 3 batches of 5-8).
         """
         mean_batch = self._coalesced / self._batches if self._batches else 0.0
-        return {
+        if self.pool is not None:
+            tier = "pool"
+        elif self.executor is not None:
+            tier = "executor"
+        else:
+            tier = "inline"
+        out = {
             "policy": {
+                "tier": tier,
                 "window_s": self.window_s,
                 "max_batch": self.max_batch,
                 "max_queue": self.max_queue,
@@ -424,6 +513,7 @@ class Server:
             "expired": self._expired,
             "rejected": self._rejected,
             "cancelled": self._cancelled,
+            "worker_failed": self._worker_failed,
             "batches": self._batches,
             "mean_batch_size": round(mean_batch, 3),
             "largest_batch": self._largest_batch,
@@ -431,5 +521,9 @@ class Server:
             "queue_depth": len(self._pending),
             "peak_queue_depth": self._peak_queue_depth,
             "closed": self._closed,
-            "planner": self.planner.stats(),
         }
+        if self.planner is not None:
+            out["planner"] = self.planner.stats()
+        if self.pool is not None:
+            out["pool"] = self.pool.stats()
+        return out

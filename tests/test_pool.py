@@ -1,0 +1,428 @@
+"""Tests for the multi-process worker tier (PR 5).
+
+Four load-bearing properties:
+
+* **Pool exactness**: for any request mix, ``WorkerPool.execute`` is
+  bit-identical to the single-process ``QueryPlanner`` path, with the
+  worker replicas running either backend (hypothesis-pinned).
+* **Parallel build identity**: ``HubLabelIndex(build_workers=N)``
+  produces byte-for-byte the serial build's bundle on every graph.
+* **Crash containment**: a killed worker is respawned from the bundle
+  and its in-flight sub-batch retried (transparent) or failed cleanly
+  (poisonous batch) — never hung, never poisoning batch-mates, never
+  shrinking the pool.
+* **Buffer/mmap serialization**: bundles load from bytes and mmap'd
+  paths with zero-copy label columns, answer identically, and re-save
+  byte-identically.
+"""
+
+import asyncio
+import io
+import os
+import signal
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import backend
+from repro.baselines import DistanceCache, HubLabelIndex
+from repro.baselines.base import (
+    DistanceRequest,
+    OneToManyRequest,
+    QueryPlanner,
+    TableRequest,
+)
+from repro.baselines.ch import contract_graph
+from repro.baselines.hl import _rank_bands
+from repro.bench.harness import run_open_loop
+from repro.core.serialize import bundle_bytes, load_bundle, save_bundle
+from repro.datasets import grid_city
+from repro.serve import Server, WorkerCrashed, WorkerPool
+from repro.serve.pool import CrashRequest, plan_split
+
+INF = float("inf")
+
+#: Backends the parity properties run under (both when numpy exists).
+BACKENDS = (["numpy"] if backend.HAS_NUMPY else []) + ["pure"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return grid_city(6, 6, seed=8)
+
+
+@pytest.fixture(scope="module")
+def hl(graph):
+    return HubLabelIndex(graph)
+
+
+@pytest.fixture(scope="module")
+def blob(hl):
+    return bundle_bytes(hl)
+
+
+@pytest.fixture(scope="module")
+def pools(blob):
+    """One 2-worker pool per backend, shared across the module's tests."""
+    out = {}
+    for name in BACKENDS:
+        with backend.forced(name):
+            out[backend.active()] = WorkerPool(blob, workers=2)
+    yield out
+    for pool in out.values():
+        pool.close()
+
+
+def _direct(engine, req):
+    if isinstance(req, DistanceRequest):
+        return engine.distance(req.source, req.target)
+    if isinstance(req, OneToManyRequest):
+        return engine.one_to_many(req.source, req.targets)
+    return engine.distance_table(req.sources, req.targets)
+
+
+def _request_strategy(n):
+    node = st.integers(min_value=0, max_value=n - 1)
+    targets = st.lists(node, min_size=0, max_size=6).map(tuple)
+    return st.one_of(
+        st.tuples(node, node).map(lambda p: DistanceRequest(*p)),
+        st.tuples(node, targets).map(lambda p: OneToManyRequest(*p)),
+        st.tuples(targets, targets).map(lambda p: TableRequest(*p)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool exactness (the ISSUE's hypothesis pin)
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_pool_matches_single_process_planner(graph, hl, pools, data):
+    """Pool answers == single-process planner answers, bit for bit.
+
+    The workers of each pool were booted under their backend
+    (``backend_name`` pins it), the reference planner runs under the
+    same backend in this process — so the property also crosses the
+    process boundary for both kernel families.
+    """
+    requests = data.draw(
+        st.lists(_request_strategy(graph.n), min_size=1, max_size=24)
+    )
+    for name in BACKENDS:
+        with backend.forced(name):
+            want = QueryPlanner(hl).execute(requests)
+            got = pools[backend.active()].execute(requests)
+        assert got == want
+
+
+def test_pool_results_are_plain_floats(hl, pools):
+    """The packed-f64 transport must hand back the planner's types."""
+    pool = pools[backend.active()]
+    out = pool.execute(
+        [
+            DistanceRequest(0, 7),
+            OneToManyRequest(3, (1, 2, 3)),
+            TableRequest((0, 4), (5, 6)),
+        ]
+    )
+    assert type(out[0]) is float
+    assert all(type(v) is float for v in out[1])
+    assert all(type(v) is float for row in out[2] for v in row)
+    assert out[1][2] == 0.0  # self-distance survives the trip
+
+
+def test_pool_shared_cache_hits(blob, hl):
+    reqs = [DistanceRequest(i, 35 - i) for i in range(12)]
+    with WorkerPool(blob, workers=2, cache=DistanceCache(256)) as pool:
+        first = pool.execute(reqs)
+        second = pool.execute(reqs)
+        assert first == second == QueryPlanner(hl).execute(reqs)
+        stats = pool.stats()["cache"]
+        assert stats["hits"] >= len(reqs)  # the whole second batch
+
+
+def test_pool_empty_and_closed(blob):
+    pool = WorkerPool(blob, workers=2)
+    assert pool.execute([]) == []
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        pool.execute([DistanceRequest(0, 1)])
+
+
+def test_pool_rejects_bad_bundle():
+    with pytest.raises(TypeError):
+        WorkerPool(12345)
+
+
+# ----------------------------------------------------------------------
+# Split planning
+# ----------------------------------------------------------------------
+def test_plan_split_preserves_requests_and_groups():
+    reqs = [
+        (0, DistanceRequest(1, 2)),
+        (1, DistanceRequest(1, 3)),  # same source as 0: one group
+        (2, OneToManyRequest(4, (5, 6))),
+        (3, OneToManyRequest(7, (5, 6))),  # same targets as 2: one group
+        (4, TableRequest((1, 2), (8, 9))),
+    ]
+    buckets = plan_split(reqs, 3)
+    flat = sorted(i for bucket in buckets for i, _ in bucket)
+    assert flat == [0, 1, 2, 3, 4]  # every request exactly once
+    where = {i: w for w, bucket in enumerate(buckets) for i, _ in bucket}
+    # small groups stay whole on one worker
+    assert where[0] == where[1]
+    assert where[2] == where[3]
+    # determinism
+    again = plan_split(reqs, 3)
+    assert [[i for i, _ in b] for b in again] == [
+        [i for i, _ in b] for b in buckets
+    ]
+
+
+def test_plan_split_chunks_dominant_group():
+    """A group bigger than the fair share is spread across workers."""
+    hot = tuple(range(10))
+    reqs = [(i, OneToManyRequest(i, hot)) for i in range(40)]
+    buckets = plan_split(reqs, 4)
+    sizes = [len(b) for b in buckets]
+    assert all(s > 0 for s in sizes), sizes  # nobody idles
+    assert max(sizes) <= 12, sizes  # ~fair shares, not one mega-bucket
+
+
+# ----------------------------------------------------------------------
+# Crash containment
+# ----------------------------------------------------------------------
+def test_worker_killed_idle_is_respawned_transparently(blob, hl):
+    reqs = [DistanceRequest(i, i + 20) for i in range(10)]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=2) as pool:
+        victim = pool.handles[0].pid
+        os.kill(victim, signal.SIGKILL)
+        assert pool.execute(reqs) == want  # retried, never hung
+        stats = pool.stats()
+        assert stats["respawns"] >= 1
+        assert pool.handles[0].pid != victim
+        assert all(h.process.is_alive() for h in pool.handles)
+
+
+def test_worker_crash_mid_batch_fails_cleanly(blob, hl):
+    """The unit test the ISSUE asks for: a worker dies *mid-batch*.
+
+    ``CrashRequest`` makes its worker ``os._exit`` while the sub-batch
+    is in flight (deterministically — no race to lose).  The poisonous
+    sub-batch is retried on a fresh worker, crashes it again, and is
+    then failed cleanly: its requests (and only its requests) resolve
+    to WorkerCrashed, every other sub-batch completes, and the pool
+    ends the dispatch with a full complement of live, respawned
+    workers.
+    """
+    good = [DistanceRequest(i, i + 9) for i in range(8)]
+    want = QueryPlanner(hl).execute(good)
+    with WorkerPool(blob, workers=2) as pool:
+        mixed = list(good)
+        mixed.insert(3, CrashRequest())
+        out = pool.execute(mixed, return_exceptions=True)
+        crashed = [r for r in out if isinstance(r, WorkerCrashed)]
+        served = [r for r in out if not isinstance(r, Exception)]
+        assert crashed, "the poisoned sub-batch must fail"
+        assert served, "the other sub-batch must still be answered"
+        assert len(crashed) + len(served) == len(mixed)
+        stats = pool.stats()
+        assert stats["respawns"] >= 2  # initial death + failed retry
+        assert all(h.process.is_alive() for h in pool.handles)
+        # the pool keeps serving correctly afterwards
+        assert pool.execute(good) == want
+        # without return_exceptions the same failure raises
+        with pytest.raises(WorkerCrashed):
+            pool.execute([CrashRequest()])
+        assert pool.execute(good) == want
+
+
+# ----------------------------------------------------------------------
+# The Server pool tier
+# ----------------------------------------------------------------------
+def test_server_pool_tier_serves_and_reports(graph, hl, pools):
+    pool = pools[backend.active()]
+    reqs = [DistanceRequest(i, graph.n - 1 - i) for i in range(16)] + [
+        OneToManyRequest(2, (0, 5, 9)) for _ in range(4)
+    ]
+    want = [_direct(hl, r) for r in reqs]
+
+    async def main():
+        async with Server(None, pool=pool) as server:
+            got = await asyncio.gather(*(server.submit(r) for r in reqs))
+            stats = server.stats()
+        return got, stats
+
+    got, stats = asyncio.run(main())
+    assert got == want
+    assert stats["policy"]["tier"] == "pool"
+    assert stats["worker_failed"] == 0
+    tier = stats["pool"]
+    assert tier["workers"] == 2
+    assert {"batches", "busy_s", "idle_s", "respawns"} <= set(
+        tier["per_worker"][0]
+    )
+    assert tier["dispatches"] >= 1
+
+
+def test_server_pool_transparent_crash_recovery(hl, blob):
+    """A worker killed between batches never surfaces to clients."""
+    reqs = [DistanceRequest(i, i + 11) for i in range(12)]
+    want = [_direct(hl, r) for r in reqs]
+
+    async def main(pool):
+        async with Server(None, pool=pool) as server:
+            first = await asyncio.gather(*(server.submit(r) for r in reqs))
+            os.kill(pool.handles[0].pid, signal.SIGKILL)
+            second = await asyncio.gather(*(server.submit(r) for r in reqs))
+        return first, second
+
+    with WorkerPool(blob, workers=2) as pool:
+        first, second = asyncio.run(main(pool))
+        assert first == want and second == want
+        assert pool.stats()["respawns"] >= 1
+
+
+def test_server_pool_mode_validation(hl, pools):
+    pool = pools[backend.active()]
+    with pytest.raises(ValueError):
+        Server(None, pool=pool, cache=DistanceCache())
+    with pytest.raises(ValueError):
+        Server(hl, pool=pool, planner=QueryPlanner(hl))
+    with pytest.raises(ValueError):
+        Server(None)  # no engine and no pool
+
+    async def submit_unknown():
+        async with Server(None, pool=pool) as server:
+            await server.submit(CrashRequest())
+
+    with pytest.raises(TypeError):  # unknown kinds rejected at the door
+        asyncio.run(submit_unknown())
+
+
+def test_server_close_pool_flag(blob):
+    pool = WorkerPool(blob, workers=2)
+
+    async def main():
+        async with Server(None, pool=pool, close_pool=True) as server:
+            await server.submit(DistanceRequest(0, 1))
+
+    asyncio.run(main())
+    with pytest.raises(RuntimeError):
+        pool.execute([DistanceRequest(0, 1)])
+
+
+# ----------------------------------------------------------------------
+# Parallel label build
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [2, 3])
+def test_parallel_build_byte_identical(workers):
+    for seed in (8, 21):
+        g = grid_city(5, 5, seed=seed)
+        serial = HubLabelIndex(g)
+        parallel = HubLabelIndex(g, build_workers=workers)
+        assert bundle_bytes(serial) == bundle_bytes(parallel)
+        assert parallel.build_info["mode"] == "parallel"
+        assert parallel.build_info["workers"] == workers
+
+
+def test_parallel_build_shares_contraction(graph):
+    res = contract_graph(graph)
+    serial = HubLabelIndex(graph, contraction=res)
+    parallel = HubLabelIndex(graph, contraction=res, build_workers=2)
+    assert bundle_bytes(serial) == bundle_bytes(parallel)
+    assert serial.build_info["mode"] == "serial"
+
+
+def test_rank_bands_structure(graph):
+    """Bands partition the nodes; upward edges only cross to earlier bands."""
+    res = contract_graph(graph)
+    by_rank = [0] * graph.n
+    for node, r in enumerate(res.rank):
+        by_rank[r] = node
+    bands = _rank_bands(res, by_rank)
+    seen = sorted(u for band in bands for u in band)
+    assert seen == list(range(graph.n))
+    band_of = {u: i for i, band in enumerate(bands) for u in band}
+    for u in range(graph.n):
+        for v, _, _ in res.up_out[u]:
+            assert band_of[v] < band_of[u]
+        for v, _, _ in res.up_in[u]:
+            assert band_of[v] < band_of[u]
+
+
+# ----------------------------------------------------------------------
+# Buffer / mmap serialization
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", BACKENDS)
+def test_bundle_loads_from_bytes_zero_copy(hl, blob, name):
+    with backend.forced(name):
+        g2, hl2 = load_bundle(blob)
+        # label columns view the blob itself — no copy on either backend
+        assert isinstance(hl2.fwd_hub, memoryview)
+        assert hl2.fwd_hub.obj is blob
+        assert isinstance(hl2.bwd_dist, memoryview)
+        for s, t in [(0, 35), (3, 17), (11, 11), (20, 4)]:
+            assert hl2.distance(s, t) == hl.distance(s, t)
+        targets = (1, 7, 13, 35)
+        assert hl2.one_to_many(5, targets) == hl.one_to_many(5, targets)
+        assert hl2.distance_table((2, 9), targets) == hl.distance_table(
+            (2, 9), targets
+        )
+        p, p2 = hl.shortest_path(0, 35), hl2.shortest_path(0, 35)
+        assert (p2.nodes, p2.length) == (p.nodes, p.length)
+        # and re-serializes to the exact same bundle
+        buf = io.BytesIO()
+        save_bundle(hl2, buf)
+        assert buf.getvalue() == blob
+
+
+def test_bundle_loads_from_mmap(tmp_path, hl, blob):
+    path = str(tmp_path / "hl.bundle")
+    with open(path, "wb") as fh:
+        fh.write(blob)
+    g2, hl2 = load_bundle(path, mmap=True)
+    assert isinstance(hl2.fwd_hub, memoryview)  # views the mapping
+    assert hl2.distance(4, 31) == hl.distance(4, 31)
+    assert hl2.one_to_many(0, (8, 16, 24)) == hl.one_to_many(0, (8, 16, 24))
+    with pytest.raises(ValueError):
+        load_bundle(io.BytesIO(blob), mmap=True)  # mmap needs a path
+
+
+def test_bundle_file_load_still_serves_tables(hl, blob, tmp_path):
+    """Regression: a file-loaded index must carry the PR 4 memo state.
+
+    Before PR 5 ``load_hl_index`` skipped the target-inversion memo
+    attributes, so the first ``distance_table`` on a loaded index
+    raised AttributeError.
+    """
+    g2, hl2 = load_bundle(io.BytesIO(blob))
+    targets = (3, 14, 15)
+    assert hl2.distance_table((9, 2, 6), targets) == hl.distance_table(
+        (9, 2, 6), targets
+    )
+    assert hl2.target_inversion_stats()["misses"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Open-loop harness (satellite)
+# ----------------------------------------------------------------------
+def test_run_open_loop_answers_and_sheds(hl):
+    reqs = [DistanceRequest(i, i + 13) for i in range(20)]
+    arrivals = [i * 0.001 for i in range(20)]
+    latencies, duration, stats = run_open_loop(hl, reqs, arrivals)
+    assert all(lat is not None and lat >= 0.0 for lat in latencies)
+    assert duration > 0.0
+    assert stats["completed"] == len(reqs)
+    # an impossible deadline sheds instead of answering
+    latencies, _, stats = run_open_loop(
+        hl, reqs, arrivals, submit_timeout=1e-9, window_s=0.05
+    )
+    assert any(lat is None for lat in latencies)
+    assert stats["expired"] >= 1
