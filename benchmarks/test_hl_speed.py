@@ -28,9 +28,16 @@ Methodology
 * Exactness is asserted against plain Dijkstra before any clock starts,
   and the numpy kernels are asserted equal to the pure scans —
   a fast wrong oracle is worthless.
-* ``--check`` runs the build + exactness + kernel-parity phase only and
-  writes a timing-free JSON — what CI runs (on both the numpy and the
-  no-numpy matrix leg), immune to noisy-runner flake.
+* **Compact columns** (PR 6): the HL2 footprint facts (label-section
+  bytes, bytes/entry) are hardware-independent, so the >= 2.5x NH
+  shrink bar is asserted *hard* in every mode; the compact-vs-flat
+  kernel A/B interleaves the two domains per repeat with parity
+  asserted on the exact workload first, and its "no slower" floor is
+  CPU-gated like every other timing here.
+* ``--check`` runs the build + exactness + kernel-parity +
+  compact-parity + footprint-floor phase only and writes a timing-free
+  JSON — what CI runs (on both the numpy and the no-numpy matrix leg),
+  immune to noisy-runner flake.
 
 Run directly (``python benchmarks/test_hl_speed.py``) to refresh
 ``BENCH_hl.json``; under pytest the same measurement doubles as a
@@ -39,7 +46,9 @@ regression guard with deliberately conservative thresholds.
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import random
 import sys
 import time
@@ -48,6 +57,7 @@ from pathlib import Path
 from repro import backend
 from repro.baselines import CHEngine, HubLabelIndex, QueryEngine
 from repro.bench.harness import environment_metadata
+from repro.core.serialize import inspect_bundle, load_hl_index, save_hl_index
 from repro.datasets import dataset, generate_workloads
 from repro.graph.traversal import distance_query
 
@@ -69,6 +79,14 @@ PR2_REFERENCE = {
     "captured": "PR 2 benchmark run, NH, single-shot 100x100 "
     "distance_table via the pure label-scan path (rng seed 23)",
 }
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _mean_us(fn, pairs, repeats=REPEATS, min_sample_s=0.005):
@@ -141,7 +159,37 @@ def build_and_verify():
                 sources, targets
             )
 
-    return graph, workloads, ch, hl, {
+    # Compact label columns (PR 6).  The footprint facts are
+    # hardware-independent, so the ISSUE's >= 2.5x NH bar is a *hard*
+    # assertion (check mode included) — and the compact-domain kernels
+    # must answer bit-identically, on both backends, before any clock
+    # runs against them.
+    flat_buf = io.BytesIO()
+    save_hl_index(hl, flat_buf, compact=False)
+    comp_buf = io.BytesIO()
+    save_hl_index(hl, comp_buf)
+    flat_sec = inspect_bundle(flat_buf.getvalue())[0]["detail"]
+    comp_sec = inspect_bundle(comp_buf.getvalue())[0]["detail"]
+    size_ratio = flat_sec["label_bytes"] / comp_sec["label_bytes"]
+    assert size_ratio >= 2.5, (
+        f"NH label sections shrank only {size_ratio:.2f}x "
+        f"({flat_sec['label_bytes']} -> {comp_sec['label_bytes']} bytes)"
+    )
+    comp_buf.seek(0)
+    hlc = load_hl_index(comp_buf, graph)
+    pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(50)]
+    for name in (["numpy"] if backend.HAS_NUMPY else []) + ["pure"]:
+        with backend.forced(name):
+            for s, t in pairs[:20]:
+                assert hlc.distance(s, t) == hl.distance(s, t), (name, s, t)
+            assert hlc.one_to_many(sources[0], targets) == hl.one_to_many(
+                sources[0], targets
+            )
+            assert hlc.distance_table(sources, targets) == hl.distance_table(
+                sources, targets
+            )
+
+    return graph, workloads, ch, hl, hlc, {
         "dataset": DATASET,
         "n": graph.n,
         "m": graph.m,
@@ -151,6 +199,19 @@ def build_and_verify():
         "avg_label_entries": round(hl.average_label_size(), 2),
         "index_size": hl.index_size(),
         "exactness_checked_pairs": checked,
+        "label_bytes_per_entry": comp_sec["bytes_per_entry"],
+        "label_footprint": {
+            "flat": {
+                "label_bytes": flat_sec["label_bytes"],
+                "bytes_per_entry": flat_sec["bytes_per_entry"],
+            },
+            "compact": {
+                "label_bytes": comp_sec["label_bytes"],
+                "bytes_per_entry": comp_sec["bytes_per_entry"],
+                "dist_encoding": comp_sec["dist_encoding"],
+            },
+            "compact_vs_flat_size_ratio": round(size_ratio, 3),
+        },
     }
 
 
@@ -233,8 +294,61 @@ def _bench_batched(graph, hl):
     return table, o2m
 
 
+def _bench_compact(graph, hl, hlc):
+    """Compact-domain vs flat-domain kernels, interleaved per repeat.
+
+    Same index, two storage domains: the int32/varint-decoded columns
+    (``hlc``) against the flat int64/float64 ones (``hl``).  Parity is
+    asserted on the exact benchmark workload before any clock; the two
+    domains alternate within each repeat so machine drift hits both.
+    Runs under the ambient backend (numpy when available — the domain
+    where the int32 gathers matter; ``distance`` itself is
+    backend-independent).
+    """
+    rng = random.Random(29)
+    pairs = [(rng.randrange(graph.n), rng.randrange(graph.n)) for _ in range(100)]
+    sources = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    targets = [rng.randrange(graph.n) for _ in range(TABLE_SIDE)]
+    o2m_targets = [rng.randrange(graph.n) for _ in range(O2M_TARGETS)]
+
+    # Parity before clocks, on this exact workload.
+    assert hlc.distance_table(sources, targets) == hl.distance_table(
+        sources, targets
+    )
+    assert hlc.one_to_many(sources[0], o2m_targets) == hl.one_to_many(
+        sources[0], o2m_targets
+    )
+
+    flat_us = _mean_us(hl.distance, pairs)
+    compact_us = _mean_us(hlc.distance, pairs)
+
+    table_s = {"flat": INF, "compact": INF}
+    o2m_s = {"flat": INF, "compact": INF}
+    for _ in range(REPEATS):
+        for key, idx in (("flat", hl), ("compact", hlc)):
+            idx.clear_target_inversions()
+            t0 = time.perf_counter()
+            idx.distance_table(sources, targets)
+            table_s[key] = min(table_s[key], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            idx.one_to_many(sources[0], o2m_targets)
+            o2m_s[key] = min(o2m_s[key], time.perf_counter() - t0)
+    return {
+        "backend": backend.active(),
+        "distance_us": {
+            "flat": round(flat_us, 3),
+            "compact": round(compact_us, 3),
+        },
+        "table_100x100_s": {k: round(v, 5) for k, v in table_s.items()},
+        "one_to_many_1000_s": {k: round(v, 6) for k, v in o2m_s.items()},
+        "distance_compact_vs_flat": round(flat_us / compact_us, 3),
+        "table_compact_vs_flat": round(table_s["flat"] / table_s["compact"], 3),
+        "o2m_compact_vs_flat": round(o2m_s["flat"] / o2m_s["compact"], 3),
+    }
+
+
 def run_benchmark():
-    graph, workloads, ch, hl, result = build_and_verify()
+    graph, workloads, ch, hl, hlc, result = build_and_verify()
 
     buckets = {}
     for b in workloads.non_empty_buckets():
@@ -250,6 +364,7 @@ def run_benchmark():
         }
 
     table, o2m = _bench_batched(graph, hl)
+    compact = _bench_compact(graph, hl, hlc)
 
     speedups = [rec["speedup"] for rec in buckets.values()]
     headline = {
@@ -267,23 +382,33 @@ def run_benchmark():
             "numpy_vs_pr2_recorded_speedup"
         ]
         headline["one_to_many_numpy_vs_pure"] = o2m["numpy_vs_pure_speedup"]
+    headline["label_compact_vs_flat_size"] = result["label_footprint"][
+        "compact_vs_flat_size_ratio"
+    ]
+    headline["table_compact_vs_flat"] = compact["table_compact_vs_flat"]
     result.update(
         {
             "method": "shared contraction hierarchy; per-bucket interleaved "
-            "A/B; backend A/B interleaved per repeat; best-of-%d" % REPEATS,
+            "A/B; backend A/B interleaved per repeat; compact-vs-flat "
+            "domains interleaved per repeat; best-of-%d" % REPEATS,
             "headline": headline,
             "distance_query": buckets,
             "distance_table": table,
             "one_to_many": o2m,
+            "compact_vs_flat": compact,
         }
     )
     return result
 
 
 def run_check():
-    """CI mode: build + exactness + kernel parity — no timing, no flake."""
-    _, _, _, hl, result = build_and_verify()
-    result["mode"] = "check (build + exactness + kernel parity; timings omitted)"
+    """CI mode: build + exactness + kernel/compact parity + the hard
+    footprint floor — no timing, no flake."""
+    _, _, _, _, _, result = build_and_verify()
+    result["mode"] = (
+        "check (build + exactness + kernel parity + compact-domain "
+        "parity + >=2.5x label-footprint floor; timings omitted)"
+    )
     return result
 
 
@@ -326,6 +451,17 @@ def test_hl_speed():
         assert result["one_to_many"]["numpy_vs_pure_speedup"] >= 3.0, result[
             "one_to_many"
         ]
+    # PR 6: the footprint floor is hardware-independent — always hard
+    # (build_and_verify also asserts it, so check mode gates too).
+    assert result["label_footprint"]["compact_vs_flat_size_ratio"] >= 2.5
+    if visible_cpus() >= 4:
+        # Compact kernels must not pay for their footprint: the table
+        # join over int32 gathers should match or beat the flat one.
+        # Timing floor, so gated like PR 5's — only where it is physical
+        # (1-CPU CI boxes time-share and the clock is scheduler noise).
+        assert result["compact_vs_flat"]["table_compact_vs_flat"] >= 0.85, (
+            result["compact_vs_flat"]
+        )
     # The committed BENCH_hl.json is refreshed explicitly (run this file
     # directly on a quiet machine); CI gates, it does not overwrite.
 

@@ -60,7 +60,20 @@ merge-join over the stdlib-array columns on both backends — at ~2 µs a
 query there is nothing for vectorisation to amortise, and numpy scalar
 indexing would only add boxing overhead.  The label columns therefore
 remain stdlib ``array``\\ s; the kernels vectorise over cached
-*zero-copy* numpy views of them (:func:`repro.backend.np_view_i64`).
+*zero-copy* numpy views of them (:func:`repro.backend.np_view`).
+
+Two **column domains** share every query path.  A freshly built index
+holds *flat* columns (int64 hubs/parents, float64 dists); an index
+loaded from a compact ``HL2`` bundle section
+(:mod:`repro.core.serialize`) holds *compact* ones — int32 hubs,
+parents and heads, int32 dists when the exactness guard proved the
+values integral.  The kernels are domain-generic: scalar paths coerce
+results through ``float()`` (int32 -> float64 casts are exact), the
+numpy table kernel widens the source distances to float64 before the
+join (so int32 + int32 can never wrap), and :meth:`_np_views` maps each
+column's own width.  Answers are bit-identical across domains *and*
+backends — the compact domain halves cache-line traffic in the
+gather-bound table kernel without changing a single bit of output.
 """
 
 from __future__ import annotations
@@ -385,6 +398,14 @@ class HubLabelIndex(QueryEngine):
         """
         if not hasattr(self, "build_info"):
             self.build_info = {"mode": "loaded"}
+        if not hasattr(self, "domain"):
+            #: "flat" (int64/float64 columns) or "compact" (int32 HL2
+            #: columns) — set by the HL2 loader before this runs.
+            self.domain = "flat"
+        if not hasattr(self, "dist_encoding"):
+            #: Per-direction on-disk distance encoding this index came
+            #: from ("i4" / "dd" / "f8"); flat columns are always f8.
+            self.dist_encoding = ("f8", "f8")
         self._npv = None  # cached zero-copy numpy views, built on first use
         # Target-side inversion memo: (backend flavour, target tuple) ->
         # prebuilt inversion structure.  Labels are immutable, so entries
@@ -401,17 +422,20 @@ class HubLabelIndex(QueryEngine):
         Cached per index (labels are immutable once built); shared by
         both batched kernels.  Only called when the numpy backend is
         active, so :mod:`repro.backend` guarantees numpy is importable.
+        Width-generic (:func:`repro.backend.np_view`): flat columns view
+        as int64/float64, compact HL2 columns as int32 — the kernels'
+        gathers then move half the cache-line traffic per entry.
         """
         views = getattr(self, "_npv", None)
         if views is None:
-            i64, f64 = backend.np_view_i64, backend.np_view_f64
+            view = backend.np_view
             views = (
-                i64(self.fwd_head),
-                i64(self.fwd_hub),
-                f64(self.fwd_dist),
-                i64(self.bwd_head),
-                i64(self.bwd_hub),
-                f64(self.bwd_dist),
+                view(self.fwd_head),
+                view(self.fwd_hub),
+                view(self.fwd_dist),
+                view(self.bwd_head),
+                view(self.bwd_hub),
+                view(self.bwd_dist),
             )
             self._npv = views
         return views
@@ -431,6 +455,39 @@ class HubLabelIndex(QueryEngine):
     def average_label_size(self) -> float:
         """Mean entries per node per direction (the classic HL metric)."""
         return self.label_count / (2.0 * max(1, self.graph.n))
+
+    def stats(self) -> dict:
+        """Footprint observability: bytes/entry and per-column sizes.
+
+        Reports the *in-memory* query-time columns (flat vs compact
+        domain, per-column byte sizes, bytes per label entry) plus the
+        on-disk distance encoding the index came from.  The serialized
+        footprint of a bundle is the companion view —
+        ``python -m repro.serialize --inspect <bundle>``.
+        """
+        columns = {}
+        label_bytes = 0
+        for name in (
+            "fwd_head", "fwd_hub", "fwd_dist", "fwd_parent",
+            "bwd_head", "bwd_hub", "bwd_dist", "bwd_parent",
+        ):
+            col = getattr(self, name)
+            itemsize = col.itemsize
+            nbytes = len(col) * itemsize
+            columns[name] = {"len": len(col), "itemsize": itemsize, "bytes": nbytes}
+            label_bytes += nbytes
+        entries = self.label_count
+        return {
+            "domain": self.domain,
+            "dist_encoding": tuple(self.dist_encoding),
+            "n": self.graph.n,
+            "entries": entries,
+            "label_bytes": label_bytes,
+            "bytes_per_entry": round(label_bytes / entries, 3) if entries else 0.0,
+            "avg_label_size": round(self.average_label_size(), 3),
+            "middles": len(self._middle),
+            "columns": columns,
+        }
 
     # ------------------------------------------------------------------
     # Planner capabilities + target-inversion memo
@@ -555,7 +612,12 @@ class HubLabelIndex(QueryEngine):
     # Queries
     # ------------------------------------------------------------------
     def distance(self, source: int, target: int) -> float:
-        """Merge-join of the two sorted label slices; no graph traversal."""
+        """Merge-join of the two sorted label slices; no graph traversal.
+
+        Domain-generic: compact int32 columns sum as exact Python ints
+        and coerce to float64 on return — the same value, bit for bit,
+        the flat float64 columns produce.
+        """
         if source == target:
             return 0.0
         fhub, fdist = self.fwd_hub, self.fwd_dist
@@ -578,7 +640,7 @@ class HubLabelIndex(QueryEngine):
                 i += 1
             else:
                 j += 1
-        return best
+        return float(best)
 
     def _meet(self, source: int, target: int) -> Tuple[float, int]:
         """Like :meth:`distance` but also returns the best hub (-1 if none)."""
@@ -604,7 +666,7 @@ class HubLabelIndex(QueryEngine):
                 i += 1
             else:
                 j += 1
-        return best, hub
+        return float(best), hub
 
     def one_to_many(self, source: int, targets) -> List[float]:
         """HL fast path: scan the source label once for the whole batch.
@@ -630,8 +692,11 @@ class HubLabelIndex(QueryEngine):
         """
         src: Dict[int, float] = {}
         fhub, fdist = self.fwd_hub, self.fwd_dist
+        # float() up front keeps the sums float64 in the compact (int32)
+        # domain too — int -> float64 casts are exact, so the answers
+        # stay bit-identical to the flat columns'.
         for i in range(self.fwd_head[source], self.fwd_head[source + 1]):
-            src[fhub[i]] = fdist[i]
+            src[fhub[i]] = float(fdist[i])
         bhead, bhub, bdist = self.bwd_head, self.bwd_hub, self.bwd_dist
         get = src.get
         out: List[float] = []
@@ -728,7 +793,7 @@ class HubLabelIndex(QueryEngine):
                 bucket = get(fhub[i])
                 if bucket is None:
                     continue
-                d = fdist[i]
+                d = float(fdist[i])  # exact in the compact int32 domain too
                 for col, bd in bucket:
                     nd = d + bd
                     if nd < row[col]:
@@ -787,6 +852,12 @@ class HubLabelIndex(QueryEngine):
                 )
                 shub = fhub[spos]
                 sdist = fdist[spos]
+                if sdist.dtype != np.float64:
+                    # Compact domain: widen the source side once so the
+                    # candidate sums are float64 (exact for int32 inputs
+                    # and immune to int32 + int32 wrap); the target side
+                    # stays narrow — the gather-bound hot path.
+                    sdist = sdist.astype(np.float64)
                 srowkey = np.repeat(np.arange(src.size, dtype=np.int64) * ncols, slens)
                 # Sparse probe of the memoized run index: source hubs
                 # absent from the target labels get cnt 0 (their base

@@ -1,0 +1,17 @@
+"""``repro.serialize`` — top-level alias + CLI for :mod:`repro.core.serialize`.
+
+Re-exports the whole serialization surface so tooling can spell it
+``repro.serialize``, and makes the footprint inspector runnable::
+
+    python -m repro.serialize --inspect bundle.hl
+
+which prints each section's magic, byte size and encoding breakdown
+(HL2 streams, distance encodings, bytes per label entry) — the
+observability half of the compact-column work.
+"""
+
+from .core.serialize import *  # noqa: F401,F403 — deliberate re-export
+from .core.serialize import __all__, inspect_bundle, main  # noqa: F401
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -25,6 +25,17 @@ with a **process pool over a shared bundle substrate**:
   (shape recovered from the requests the dispatcher kept), so the
   pickle cost per answer is a memcpy, not per-float object churn —
   and the exact IEEE bits survive the trip.
+* By default that packed column never touches the pipe at all: each
+  worker owns a **shared-memory result lane** (a
+  ``multiprocessing.shared_memory`` ring the parent creates and
+  unlinks), writes the reply bytes into it at a ring offset, and sends
+  only a tiny ``("okl", offset, nbytes, busy)`` control frame — the
+  reply path's pipe traffic drops from the full float64 payload to
+  ~60 bytes per sub-batch (PR 5 measured the pipe copy as the tier's
+  dominant overhead).  Dispatch is lockstep per worker (one in-flight
+  sub-batch), so a single ring with no read barrier is race-free; a
+  reply larger than the lane falls back to the pipe transparently, and
+  ``reply_transport="pipe"`` turns lanes off (the A/B baseline).
 * A shared :class:`~repro.baselines.base.DistanceCache` stays in the
   dispatcher process: point hits are answered before any dispatch, and
   freshly computed point distances are stored back after the merge —
@@ -55,6 +66,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from array import array
 from collections import OrderedDict
@@ -80,6 +92,73 @@ __all__ = [
 #: Exit code a worker uses for the deliberate test-hook crash, so a
 #: CrashRequest death is distinguishable from a real fault in CI logs.
 _CRASH_EXIT_CODE = 86
+
+#: Default shared-memory result-lane size per worker.  Replies are one
+#: float64 per answered (s, t) pair, so 1 MiB covers a 128k-pair
+#: sub-batch — far past the planner's batch shapes; larger replies fall
+#: back to the pipe (counted in ``stats()['reply_path']``).
+_LANE_BYTES_DEFAULT = 1 << 20
+
+
+class _ReplyLane:
+    """One worker's parent-owned shared-memory reply ring.
+
+    The parent creates (and finally unlinks) the segment; the worker
+    attaches by name and writes each sub-batch's packed reply at a ring
+    offset it reports back over the pipe.  Because the pool is lockstep
+    per worker — a new sub-batch is only sent after the previous reply
+    was consumed — at most one reply is live in the ring at a time and
+    no read/write barrier is needed.
+    """
+
+    __slots__ = ("shm", "size")
+
+    def __init__(self, size: int) -> None:
+        from multiprocessing import shared_memory
+
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+        self.size = size
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def view(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy window over one reply (valid until the next send)."""
+        if not 0 <= offset <= self.size - nbytes:
+            raise ValueError(
+                f"reply window [{offset}, {offset + nbytes}) outside lane "
+                f"of {self.size} bytes"
+            )
+        return self.shm.buf[offset : offset + nbytes]
+
+    def destroy(self) -> None:
+        """Close the parent mapping and unlink the segment (idempotent)."""
+        try:
+            self.shm.close()
+        except Exception:  # pragma: no cover - close never raises on CPython
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _attach_lane(cfg: dict):
+    """Worker-side attach to the parent's lane; returns the mapping.
+
+    On CPython 3.11 attaching registers the segment with the resource
+    tracker too, but spawned workers inherit the *parent's* tracker fd,
+    so that register is an idempotent set-add on the registration the
+    parent made at create time.  Ownership stays with the parent: its
+    ``unlink`` in :meth:`WorkerPool.close` performs the single matching
+    unregister.  (An explicit child-side unregister here would strip the
+    parent's entry from the shared set and make that later unlink
+    double-unregister, so we deliberately leave the tracker alone.)
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=cfg["name"])
 
 
 class WorkerCrashed(RuntimeError):
@@ -254,8 +333,10 @@ def _worker_main(conn, spec: dict) -> None:
             else:
                 graph, engine = load_bundle(spec["bundle"])
             planner = QueryPlanner(engine)
+            lane_cfg = spec.get("lane")
+            lane = _attach_lane(lane_cfg) if lane_cfg is not None else None
             conn.send(("ready", graph.n))
-            _serve_loop(conn, planner)
+            _serve_loop(conn, planner, lane, lane_cfg["size"] if lane_cfg else 0)
         elif spec["role"] == "build":
             conn.send(("ready", spec["n"]))
             _build_loop(conn, spec)
@@ -270,7 +351,8 @@ def _worker_main(conn, spec: dict) -> None:
             pass
 
 
-def _serve_loop(conn, planner) -> None:
+def _serve_loop(conn, planner, lane=None, lane_size: int = 0) -> None:
+    wpos = 0  # ring write head; single live reply, so wrap is just reset
     while True:
         msg = conn.recv()
         op = msg[0]
@@ -288,7 +370,16 @@ def _serve_loop(conn, planner) -> None:
                 conn.send(("err", exc))
                 continue
             busy = time.perf_counter() - t0
-            conn.send(("ok", _pack_results(requests, results), busy))
+            blob = _pack_results(requests, results)
+            if lane is not None and len(blob) <= lane_size:
+                if wpos + len(blob) > lane_size:
+                    wpos = 0
+                lane.buf[wpos : wpos + len(blob)] = blob
+                conn.send(("okl", wpos, len(blob), busy))
+                # keep the next write 8-aligned for the f64 cast
+                wpos = (wpos + len(blob) + 7) & ~7
+            else:  # no lane, or an oversized reply: the pipe fallback
+                conn.send(("ok", blob, busy))
         elif op == "stats":
             conn.send(("ok", planner.stats()))
         else:
@@ -523,6 +614,15 @@ class WorkerPool:
         before its requests are failed with :class:`WorkerCrashed`.
     mmap:
         For path bundles: mmap the file (default) instead of reading it.
+    reply_transport:
+        ``"auto"`` (default) gives each worker a shared-memory result
+        lane when the platform supports ``multiprocessing.shared_memory``,
+        falling back to pipe replies otherwise; ``"shm"`` requires
+        lanes; ``"pipe"`` forces the packed-float64 pipe path (the A/B
+        baseline).  Answers are identical either way.
+    lane_bytes:
+        Size of each worker's reply lane (default 1 MiB); replies that
+        do not fit fall back to the pipe for that sub-batch only.
 
     ``execute`` is the whole query surface: one heterogeneous request
     batch in, positionally aligned results out, bit-identical to the
@@ -541,11 +641,20 @@ class WorkerPool:
         backend_name: Optional[str] = None,
         max_retries: int = 1,
         mmap: bool = True,
+        reply_transport: str = "auto",
+        lane_bytes: int = _LANE_BYTES_DEFAULT,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if reply_transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                "reply_transport must be 'auto', 'shm' or 'pipe', got "
+                f"{reply_transport!r}"
+            )
+        if lane_bytes <= 0:
+            raise ValueError(f"lane_bytes must be positive, got {lane_bytes}")
         if cache is True:
             cache = DistanceCache()
         self.cache = cache
@@ -572,7 +681,46 @@ class WorkerPool:
                 f"{type(bundle).__name__!r}"
             )
         ctx = multiprocessing.get_context(mp_context or _default_context_name())
-        self._handles = [WorkerHandle(spec, ctx) for _ in range(workers)]
+        # Shared-memory reply lanes: one per worker, recorded in a
+        # per-handle copy of the spec so a respawned worker re-attaches
+        # the same segment.  "auto" degrades to pipe replies on the
+        # first creation failure; "shm" propagates it.
+        self._lane_bytes = lane_bytes
+        self._lanes: List[Optional[_ReplyLane]] = []
+        self._handles: List[WorkerHandle] = []
+        self._reply_pipe_bytes = 0
+        self._reply_shm_bytes = 0
+        self._oversized_replies = 0
+        lanes_on = reply_transport in ("auto", "shm")
+        try:
+            for _ in range(workers):
+                lane = None
+                if lanes_on:
+                    try:
+                        lane = _ReplyLane(lane_bytes)
+                    except Exception:
+                        if reply_transport == "shm":
+                            raise
+                        lanes_on = False
+                wspec = dict(spec)  # shallow: the bundle blob is shared
+                if lane is not None:
+                    wspec["lane"] = {"name": lane.name, "size": lane.size}
+                self._lanes.append(lane)
+                self._handles.append(WorkerHandle(wspec, ctx))
+        except BaseException:
+            for handle in self._handles:
+                try:
+                    handle.close()
+                except Exception:
+                    pass
+            for lane in self._lanes:
+                if lane is not None:
+                    lane.destroy()
+            raise
+        #: Reply-path transport actually in effect ("shm" or "pipe").
+        self.reply_transport = (
+            "shm" if any(lane is not None for lane in self._lanes) else "pipe"
+        )
         #: Node count of the bundled graph (from the ready handshake) —
         #: what Server.submit validates request node ids against.
         self.n: int = self._handles[0].ready_info
@@ -597,6 +745,28 @@ class WorkerPool:
 
     def pids(self) -> List[Optional[int]]:
         return [h.pid for h in self._handles]
+
+    # ------------------------------------------------------------------
+    def _reply_payload(self, w: int, reply) -> Tuple[object, float]:
+        """``(blob, busy_s)`` from either reply form, with byte accounting.
+
+        ``("okl", offset, nbytes, busy)`` control frames resolve to a
+        zero-copy window over worker ``w``'s lane (only the ~60-byte
+        pickled frame crossed the pipe — that is what gets charged to
+        ``pipe_bytes``); ``("ok", blob, busy)`` replies charge the full
+        packed payload, and count as oversized when a lane existed but
+        the reply did not fit it.
+        """
+        if reply[0] == "okl":
+            _, offset, nbytes, busy = reply
+            self._reply_pipe_bytes += len(pickle.dumps(reply))
+            self._reply_shm_bytes += nbytes
+            return self._lanes[w].view(offset, nbytes), busy
+        blob = reply[1]
+        self._reply_pipe_bytes += len(blob)
+        if self._lanes[w] is not None:
+            self._oversized_replies += 1
+        return blob, reply[2]
 
     # ------------------------------------------------------------------
     def execute(
@@ -670,13 +840,15 @@ class WorkerPool:
                         reply = self._handles[w].recv()
                     except WorkerCrashed:
                         reply = self._retry_sub(w, reqs)
-                sub_results = _unpack_results(reqs, reply[1])
+                blob, busy_s = self._reply_payload(w, reply)
+                sub_results = _unpack_results(reqs, blob)
+                del blob  # release the lane window before the next send
                 stats = self._wstats[w]
                 stats["batches"] += 1
                 stats["requests"] += len(reqs)
                 pairs = sum(_request_pairs(r) for r in reqs)
                 stats["pairs"] += pairs
-                stats["busy_s"] += reply[2]
+                stats["busy_s"] += busy_s
                 pair_loads.append(pairs)
                 for (i, _), value in zip(sub, sub_results):
                     results[i] = value
@@ -758,6 +930,15 @@ class WorkerPool:
         out = {
             "workers": len(self._handles),
             "transport": self.transport,
+            "reply_path": {
+                "transport": self.reply_transport,
+                "lane_bytes": (
+                    self._lane_bytes if self.reply_transport == "shm" else None
+                ),
+                "pipe_bytes": self._reply_pipe_bytes,
+                "shm_bytes": self._reply_shm_bytes,
+                "oversized_replies": self._oversized_replies,
+            },
             "dispatches": self._dispatches,
             "mean_dispatch_imbalance": round(
                 self._imbalance_sum / self._dispatches, 4
@@ -777,12 +958,20 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker (idempotent)."""
+        """Stop every worker and unlink the reply lanes (idempotent).
+
+        Workers go first (they hold attachments to the segments), then
+        every lane is closed *and unlinked* — no ``/dev/shm`` entries
+        outlive the pool, even after worker crashes and respawns.
+        """
         if self._closed:
             return
         self._closed = True
         for handle in self._handles:
             handle.close()
+        for lane in self._lanes:
+            if lane is not None:
+                lane.destroy()
 
     def __enter__(self) -> "WorkerPool":
         return self

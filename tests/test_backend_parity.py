@@ -161,14 +161,24 @@ def test_hl_batched_kernels_match_pure_scan(rows, cols, seed):
 )
 @given(seed=st.integers(0, 2**31 - 1))
 def test_bundles_byte_identical_across_backends(seed):
-    """serialize's backend-invariance guarantee, property-tested."""
+    """serialize's backend-invariance guarantee, property-tested.
+
+    Both the compact (HL2) default and the flat (HL1) fallback must
+    produce the same bytes no matter which backend built the index —
+    the varint/delta encoders run the same pure loops either way.
+    """
     spec = _graph_spec(3, 4, seed)
-    blobs = {}
+    compact_blobs, flat_blobs = {}, {}
     for name in ("pure", "numpy"):
         graph = _build(spec, name)
         with backend.forced(name):
             hl = HubLabelIndex(graph)
             buf = io.BytesIO()
             save_bundle(hl, buf)
-            blobs[name] = buf.getvalue()
-    assert blobs["pure"] == blobs["numpy"]
+            compact_blobs[name] = buf.getvalue()
+            buf = io.BytesIO()
+            save_bundle(hl, buf, compact=False)
+            flat_blobs[name] = buf.getvalue()
+    assert compact_blobs["pure"] == compact_blobs["numpy"]
+    assert flat_blobs["pure"] == flat_blobs["numpy"]
+    assert compact_blobs["pure"] != flat_blobs["pure"]  # formats differ

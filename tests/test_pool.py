@@ -14,6 +14,11 @@ Four load-bearing properties:
 * **Buffer/mmap serialization**: bundles load from bytes and mmap'd
   paths with zero-copy label columns, answer identically, and re-save
   byte-identically.
+* **Reply-lane lifecycle** (PR 6): the shared-memory reply path answers
+  exactly like the pipe path, oversized replies degrade to the pipe,
+  lanes survive worker crash + respawn with a reply in flight, and
+  ``close`` unlinks every segment — nothing outlives the pool in
+  ``/dev/shm``.
 """
 
 import asyncio
@@ -59,7 +64,12 @@ def hl(graph):
 
 @pytest.fixture(scope="module")
 def blob(hl):
-    return bundle_bytes(hl)
+    return bundle_bytes(hl)  # compact (HL2) by default since PR 6
+
+
+@pytest.fixture(scope="module")
+def flat_blob(hl):
+    return bundle_bytes(hl, compact=False)
 
 
 @pytest.fixture(scope="module")
@@ -244,6 +254,111 @@ def test_worker_crash_mid_batch_fails_cleanly(blob, hl):
 
 
 # ----------------------------------------------------------------------
+# Shared-memory reply lanes (PR 6)
+# ----------------------------------------------------------------------
+def _attach_by_name(name):
+    from multiprocessing import shared_memory
+
+    seg = shared_memory.SharedMemory(name=name)
+    seg.close()
+
+
+def test_reply_transports_agree_and_report(blob, hl):
+    """shm and pipe transports are answer-identical; stats tell them apart."""
+    reqs = [DistanceRequest(i, 35 - i) for i in range(14)] + [
+        OneToManyRequest(3, tuple(range(12))),
+        TableRequest((0, 7, 21), (5, 9, 30)),
+    ]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=2) as shm_pool, WorkerPool(
+        blob, workers=2, reply_transport="pipe"
+    ) as pipe_pool:
+        assert shm_pool.execute(reqs) == want
+        assert pipe_pool.execute(reqs) == want
+        s = shm_pool.stats()["reply_path"]
+        p = pipe_pool.stats()["reply_path"]
+        assert s["transport"] == "shm" and p["transport"] == "pipe"
+        assert s["shm_bytes"] > 0 and s["oversized_replies"] == 0
+        assert p["shm_bytes"] == 0 and p["lane_bytes"] is None
+        # control frames are tiny next to the packed-f64 payload
+        assert s["pipe_bytes"] < p["pipe_bytes"]
+        assert all(lane is None for lane in pipe_pool._lanes)
+
+
+def test_reply_transport_validation(blob):
+    with pytest.raises(ValueError):
+        WorkerPool(blob, workers=2, reply_transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        WorkerPool(blob, workers=2, lane_bytes=0)
+
+
+def test_oversized_reply_falls_back_to_pipe(blob, hl):
+    """Replies that outgrow the lane ride the pipe and stay correct."""
+    reqs = [TableRequest(tuple(range(8)), tuple(range(8, 24)))] + [
+        DistanceRequest(i, i + 12) for i in range(6)
+    ]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=2, lane_bytes=64) as pool:
+        assert pool.execute(reqs) == want
+        stats = pool.stats()["reply_path"]
+        assert stats["oversized_replies"] >= 1
+        assert stats["transport"] == "shm"  # lanes exist; fallback is per-reply
+
+
+def test_reply_lane_ring_wraps(blob, hl):
+    """A lane smaller than the batch stream forces the ring to wrap."""
+    reqs = [DistanceRequest(i, 35 - i) for i in range(20)]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=1, lane_bytes=256) as pool:
+        for _ in range(6):  # cumulative replies >> lane size
+            assert pool.execute(reqs) == want
+        stats = pool.stats()["reply_path"]
+        assert stats["shm_bytes"] > 256  # wrapped at least once
+        assert stats["oversized_replies"] == 0
+
+
+def test_reply_lane_survives_crash_with_reply_in_flight(blob, hl):
+    """Deterministic mid-batch kill; the respawned worker re-attaches."""
+    good = [DistanceRequest(i, i + 9) for i in range(8)]
+    want = QueryPlanner(hl).execute(good)
+    with WorkerPool(blob, workers=2) as pool:
+        mixed = list(good)
+        mixed.insert(3, CrashRequest())
+        out = pool.execute(mixed, return_exceptions=True)
+        assert any(isinstance(r, WorkerCrashed) for r in out)
+        before = pool.stats()["reply_path"]["shm_bytes"]
+        assert pool.execute(good) == want  # respawned worker serves via lane
+        after = pool.stats()["reply_path"]["shm_bytes"]
+        assert after > before
+        assert all(h.process.is_alive() for h in pool.handles)
+
+
+def test_reply_lanes_unlinked_on_close(blob):
+    """No /dev/shm segment outlives the pool."""
+    pool = WorkerPool(blob, workers=2)
+    names = [lane.name for lane in pool._lanes if lane is not None]
+    assert len(names) == 2  # one lane per worker
+    pool.execute([DistanceRequest(0, 1)])
+    pool.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            _attach_by_name(name)
+    pool.close()  # idempotent — a second close must not re-unlink
+
+
+def test_reply_lanes_unlinked_when_worker_already_dead(blob):
+    """Killing a worker before close still leaves no segments behind."""
+    pool = WorkerPool(blob, workers=2)
+    names = [lane.name for lane in pool._lanes if lane is not None]
+    os.kill(pool.handles[0].pid, signal.SIGKILL)
+    pool.handles[0].process.join(timeout=10)
+    pool.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            _attach_by_name(name)
+
+
+# ----------------------------------------------------------------------
 # The Server pool tier
 # ----------------------------------------------------------------------
 def test_server_pool_tier_serves_and_reports(graph, hl, pools):
@@ -361,12 +476,13 @@ def test_rank_bands_structure(graph):
 # Buffer / mmap serialization
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", BACKENDS)
-def test_bundle_loads_from_bytes_zero_copy(hl, blob, name):
+def test_bundle_loads_from_bytes_zero_copy(hl, flat_blob, name):
+    """Flat (HL1) bundles keep the PR 5 zero-copy load property."""
     with backend.forced(name):
-        g2, hl2 = load_bundle(blob)
+        g2, hl2 = load_bundle(flat_blob)
         # label columns view the blob itself — no copy on either backend
         assert isinstance(hl2.fwd_hub, memoryview)
-        assert hl2.fwd_hub.obj is blob
+        assert hl2.fwd_hub.obj is flat_blob
         assert isinstance(hl2.bwd_dist, memoryview)
         for s, t in [(0, 35), (3, 17), (11, 11), (20, 4)]:
             assert hl2.distance(s, t) == hl.distance(s, t)
@@ -379,20 +495,48 @@ def test_bundle_loads_from_bytes_zero_copy(hl, blob, name):
         assert (p2.nodes, p2.length) == (p.nodes, p.length)
         # and re-serializes to the exact same bundle
         buf = io.BytesIO()
+        save_bundle(hl2, buf, compact=False)
+        assert buf.getvalue() == flat_blob
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_bundle_loads_compact(hl, blob, name):
+    """Compact (HL2) bundles — the new default — answer identically and
+    round-trip byte-for-byte on both backends."""
+    with backend.forced(name):
+        g2, hl2 = load_bundle(blob)
+        assert hl2.domain == "compact"
+        for s, t in [(0, 35), (3, 17), (11, 11), (20, 4)]:
+            assert hl2.distance(s, t) == hl.distance(s, t)
+        targets = (1, 7, 13, 35)
+        assert hl2.one_to_many(5, targets) == hl.one_to_many(5, targets)
+        assert hl2.distance_table((2, 9), targets) == hl.distance_table(
+            (2, 9), targets
+        )
+        p, p2 = hl.shortest_path(0, 35), hl2.shortest_path(0, 35)
+        assert (p2.nodes, p2.length) == (p.nodes, p.length)
+        buf = io.BytesIO()
         save_bundle(hl2, buf)
         assert buf.getvalue() == blob
 
 
-def test_bundle_loads_from_mmap(tmp_path, hl, blob):
+def test_bundle_loads_from_mmap(tmp_path, hl, flat_blob, blob):
     path = str(tmp_path / "hl.bundle")
     with open(path, "wb") as fh:
-        fh.write(blob)
+        fh.write(flat_blob)
     g2, hl2 = load_bundle(path, mmap=True)
     assert isinstance(hl2.fwd_hub, memoryview)  # views the mapping
     assert hl2.distance(4, 31) == hl.distance(4, 31)
     assert hl2.one_to_many(0, (8, 16, 24)) == hl.one_to_many(0, (8, 16, 24))
+    # compact bundles mmap-load too (decoded, not zero-copy)
+    cpath = str(tmp_path / "hl2.bundle")
+    with open(cpath, "wb") as fh:
+        fh.write(blob)
+    g3, hl3 = load_bundle(cpath, mmap=True)
+    assert hl3.domain == "compact"
+    assert hl3.distance(4, 31) == hl.distance(4, 31)
     with pytest.raises(ValueError):
-        load_bundle(io.BytesIO(blob), mmap=True)  # mmap needs a path
+        load_bundle(io.BytesIO(flat_blob), mmap=True)  # mmap needs a path
 
 
 def test_bundle_file_load_still_serves_tables(hl, blob, tmp_path):
