@@ -432,25 +432,30 @@ def test_hl_speed():
     pure scans — conservative margins, since CI machines are noisy; the
     recorded JSON carries the real numbers."""
     result = run_benchmark()
-    for name, rec in result["distance_query"].items():
-        assert rec["speedup"] > 1.0, f"{name}: {rec}"
-    # Long-range buckets are HL's home turf; demand a decisive win.
-    long_range = [
-        rec["speedup"]
-        for name, rec in result["distance_query"].items()
-        if name in ("Q8", "Q9", "Q10")
-    ]
-    assert long_range and max(long_range) >= 3.0, long_range
-    table = result["distance_table"]
-    assert table["pure_vs_fallback_speedup"] > 1.0, table
-    if backend.HAS_NUMPY:
-        # Real ratios on a quiet machine run ~2-4x (table) and ~10x
-        # (one_to_many); the guard only has to catch a vectorisation
-        # path that silently fell back or regressed.
-        assert table["numpy_vs_pure_speedup"] >= 1.3, table
-        assert result["one_to_many"]["numpy_vs_pure_speedup"] >= 3.0, result[
-            "one_to_many"
+    # Timing floors only where the clock is physical: a starved 1-CPU
+    # container time-shares both sides of every A/B and the ratios
+    # measure scheduler noise (ROADMAP measurement discipline).  The
+    # recorded JSON carries every number on every box either way.
+    if visible_cpus() >= 2:
+        for name, rec in result["distance_query"].items():
+            assert rec["speedup"] > 1.0, f"{name}: {rec}"
+        # Long-range buckets are HL's home turf; demand a decisive win.
+        long_range = [
+            rec["speedup"]
+            for name, rec in result["distance_query"].items()
+            if name in ("Q8", "Q9", "Q10")
         ]
+        assert long_range and max(long_range) >= 3.0, long_range
+        table = result["distance_table"]
+        assert table["pure_vs_fallback_speedup"] > 1.0, table
+        if backend.HAS_NUMPY:
+            # Real ratios on a quiet machine run ~2-4x (table) and ~10x
+            # (one_to_many); the guard only has to catch a vectorisation
+            # path that silently fell back or regressed.
+            assert table["numpy_vs_pure_speedup"] >= 1.3, table
+            assert result["one_to_many"]["numpy_vs_pure_speedup"] >= 3.0, result[
+                "one_to_many"
+            ]
     # PR 6: the footprint floor is hardware-independent — always hard
     # (build_and_verify also asserts it, so check mode gates too).
     assert result["label_footprint"]["compact_vs_flat_size_ratio"] >= 2.5

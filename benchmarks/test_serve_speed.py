@@ -42,6 +42,7 @@ regression guard with deliberately conservative thresholds.
 from __future__ import annotations
 
 import json
+import os
 import random
 import sys
 import time
@@ -68,6 +69,14 @@ from repro.datasets import dataset
 INF = float("inf")
 DATASET = "NH"
 CLIENTS = 1000
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 ROUNDS = 3
 POOLS = 4
 POOL_SIZE = 40
@@ -436,12 +445,22 @@ def test_serve_speed():
     """
     result = run_benchmark()
     backends = result["backends"]
+    # Timing floors gate on cores — a starved 1-CPU box times the event
+    # loop's time-slicing, not coalescing (ROADMAP measurement
+    # discipline).  Batch-size facts are scheduling evidence, not clocks,
+    # and stay hard on every box.
+    if visible_cpus() >= 2:
+        if backend.HAS_NUMPY:
+            assert (
+                backends["numpy"]["coalesced_vs_sequential_speedup"] >= 2.0
+            ), backends
+        # The pure fallback must also profit from coalescing (bucket-scan
+        # tables + inversion memo + cache), not merely tolerate it.
+        assert (
+            backends["pure-python"]["coalesced_vs_sequential_speedup"] >= 1.3
+        ), backends
     if backend.HAS_NUMPY:
-        assert backends["numpy"]["coalesced_vs_sequential_speedup"] >= 2.0, backends
         assert backends["numpy"]["record"]["mean_batch_size"] > 10.0, backends
-    # The pure fallback must also profit from coalescing (bucket-scan
-    # tables + inversion memo + cache), not merely tolerate it.
-    assert backends["pure-python"]["coalesced_vs_sequential_speedup"] >= 1.3, backends
     assert backends["pure-python"]["record"]["mean_batch_size"] > 10.0, backends
     # Open-loop sweep sanity (shape only — latency values are recorded,
     # not asserted, so a noisy box cannot flake this guard): nothing

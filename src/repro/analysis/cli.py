@@ -1,0 +1,157 @@
+"""Command-line front-end: ``python -m repro.analysis``.
+
+Exit codes: 0 clean (baselined debt allowed), 1 fresh findings or
+parse errors, 2 usage errors.  ``--json`` emits the machine report the
+CI lint job uploads as an artifact; ``--explain`` doubles as the
+contributor documentation for each rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .framework import (
+    DEFAULT_BASELINE_NAME,
+    analyze_paths,
+    baseline_payload,
+    default_root,
+    get_rule,
+    iter_rules,
+    load_baseline,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro and "
+        "benchmarks/ under the repo root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root for relative paths and rule dispatch "
+        "(default: auto-detected)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report all findings as fresh",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="absorb every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE-ID",
+        help="print one rule's contract, rationale and motivating tests",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rule ids"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id:<22} {rule.title}")
+        return 0
+
+    if args.explain:
+        try:
+            rule = get_rule(args.explain)
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+        print(rule.explain())
+        return 0
+
+    root = (args.root or default_root()).resolve()
+    if args.paths:
+        paths = [p if p.is_absolute() else root / p for p in args.paths]
+    else:
+        paths = [p for p in (root / "src" / "repro", root / "benchmarks") if p.exists()]
+    if not paths:
+        print(f"nothing to analyze under {root}", file=sys.stderr)
+        return 2
+    for p in paths:
+        if not p.exists():
+            print(f"no such path: {p}", file=sys.stderr)
+            return 2
+
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+    entries = []
+    if not args.no_baseline and not args.write_baseline and baseline_path.exists():
+        try:
+            entries = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    report = analyze_paths(paths, root, baseline_entries=entries)
+
+    if args.write_baseline:
+        payload = baseline_payload(report.findings + report.baselined)
+        baseline_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"wrote {len(payload['findings'])} baseline entr"
+            f"{'y' if len(payload['findings']) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for f in report.errors:
+            print(f.render())
+        for f in report.findings:
+            print(f.render())
+        summary = (
+            f"{report.files} files, {len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'}"
+        )
+        if report.baselined:
+            summary += f", {len(report.baselined)} baselined"
+        if report.suppressed:
+            summary += f", {report.suppressed} suppressed"
+        if report.stale_baseline:
+            summary += f", {len(report.stale_baseline)} stale baseline entries"
+            print(
+                "stale baseline entries (fixed debt — delete them from "
+                f"{baseline_path.name}):"
+            )
+            for e in report.stale_baseline:
+                print(f"  {e['path']} [{e['rule']}] {e['code']}")
+        print(summary)
+    return 1 if (report.findings or report.errors) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

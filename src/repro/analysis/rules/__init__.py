@@ -1,0 +1,17 @@
+"""Rule registration: importing this package registers every rule.
+
+Each module distils one convention from PRs 1-6 into a mechanical AST
+check; see the module docstrings (or ``python -m repro.analysis
+--explain RULE-ID``) for the contract each protects.
+"""
+
+from . import (  # noqa: F401 — imported for their register() side effect
+    asyncio_discipline,
+    backend_purity,
+    bench_honesty,
+    determinism,
+    exact_accumulation,
+    serialize_symmetry,
+    spawn_safety,
+    workspace_discipline,
+)

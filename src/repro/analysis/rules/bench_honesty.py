@@ -1,0 +1,173 @@
+"""bench-honesty: timing floors gate on cores; size floors never do.
+
+PR 5's hard lesson (ROADMAP "measurement discipline"): this project's
+CI containers sometimes expose one CPU, where multi-process and
+threaded tiers measure *slower* than their baselines — a timing floor
+asserted unconditionally either flakes there or, worse, gets weakened
+until it guards nothing.  The repo's convention:
+
+* an ``assert`` comparing a timing-flavoured quantity (speedup,
+  latency, p50/p99, us/ms, qps, throughput) against a numeric constant
+  must sit under a gate that mentions ``visible_cpus``;
+* an ``assert`` flooring a size/byte quantity (bytes, footprint,
+  size ratios, entries) is hardware-independent and must **not** hide
+  under a ``visible_cpus`` gate — gating it would silently skip a
+  regression check that could always have run.
+
+Timing-vs-timing comparisons (``p50 <= p99``, A-vs-B microseconds) are
+machine-relative orderings, not floors, and pass unflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Set
+
+from ..framework import Finding, ModuleContext, Rule, identifier_strings, register
+
+RULE_ID = "bench-honesty"
+
+_TIMING_TOKENS = {
+    "speedup", "speedups", "elapsed", "latency", "latencies",
+    "p50", "p90", "p95", "p99", "p999",
+    "us", "ms", "ns", "sec", "secs", "seconds", "wall", "walltime",
+    "qps", "rps", "throughput", "duration", "runtime",
+}
+_SIZE_TOKENS = {
+    "bytes", "byte", "size", "sizes", "footprint", "entries", "entry",
+    "bits", "nbytes", "blob",
+}
+_TOKEN_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def _tokens(node: ast.AST) -> Set[str]:
+    out: Set[str] = set()
+    for text in identifier_strings(node):
+        out.update(t.lower() for t in _TOKEN_SPLIT.split(text) if t)
+    return out
+
+
+def _is_constant_only(node: ast.AST) -> bool:
+    """True when the expression is built purely from numeric constants."""
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute, ast.Subscript, ast.Call)):
+            return False
+    return True
+
+
+def _cpu_gate_names(ctx: ModuleContext) -> Set[str]:
+    """Names assigned from ``visible_cpus()`` / ``os.cpu_count()``-style calls."""
+    names: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            text = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else ""
+            )
+            if "cpu" in text.lower():
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _under_cpu_gate(ctx: ModuleContext, node: ast.AST, cpu_names: Set[str]) -> bool:
+    for parent in ctx.ancestors(node):
+        if isinstance(parent, (ast.If, ast.While)):
+            toks = _tokens(parent.test)
+            if "visible_cpus" in {t.lower() for t in identifier_strings(parent.test)}:
+                return True
+            if any(
+                isinstance(sub, ast.Name) and sub.id in cpu_names
+                for sub in ast.walk(parent.test)
+            ):
+                return True
+            if "cpus" in toks and "visible" in toks:
+                return True
+    return False
+
+
+def _floor_flavor(test: ast.AST) -> Optional[str]:
+    """'timing' / 'size' when the assert floors such a quantity, else None."""
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        measured = [s for s in sides if not _is_constant_only(s)]
+        constants = [s for s in sides if _is_constant_only(s)]
+        if not measured or not constants:
+            continue  # A-vs-B ordering, not a floor
+        toks: Set[str] = set()
+        for side in measured:
+            toks |= _tokens(side)
+        if toks & _TIMING_TOKENS:
+            return "timing"
+        if toks & _SIZE_TOKENS:
+            return "size"
+    return None
+
+
+def _check(ctx: ModuleContext) -> Iterator[Finding]:
+    cpu_names = _cpu_gate_names(ctx)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        flavor = _floor_flavor(node.test)
+        if flavor is None:
+            continue
+        gated = _under_cpu_gate(ctx, node, cpu_names)
+        if flavor == "timing" and not gated:
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                "timing floor asserted without a visible_cpus gate — "
+                "flakes on starved CI containers and invites weakening",
+                "wrap in `if visible_cpus() >= N:` (see "
+                "benchmarks/test_pool_speed.py); the recorded JSON still "
+                "carries the measurement everywhere",
+            )
+        elif flavor == "size" and gated:
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                "size/byte floor hidden under a visible_cpus gate — "
+                "footprint facts are hardware-independent and must "
+                "always be asserted",
+                "move the assert outside the cpu gate",
+            )
+
+
+register(
+    Rule(
+        id=RULE_ID,
+        title="timing floors gated on visible_cpus; size floors always hard",
+        contract=(
+            "Benchmark guards assert what the hardware can answer for: "
+            "wall-clock floors only on boxes with enough cores, byte/"
+            "size floors unconditionally."
+        ),
+        rationale=(
+            "The PR 5 pool benches recorded 0.3-0.4x 'speedups' on a "
+            "1-CPU container — pure IPC cost, not a regression.  An "
+            "ungated timing floor on such a box fails spuriously, and "
+            "the usual fix (lowering the floor) destroys the guard's "
+            "value on real hardware.  Conversely a byte-footprint floor "
+            "(PR 6's >= 2.5x label shrink) holds on any machine, so "
+            "gating it just switches the check off.  BENCH_*.json embeds "
+            "visible_cpus precisely so recorded numbers stay "
+            "interpretable either way."
+        ),
+        motivated_by=(
+            "PR 5 one-CPU caveat (ROADMAP measurement discipline; "
+            "benchmarks/test_pool_speed.py visible_cpus gating) and "
+            "PR 6's hardware-independent footprint floors"
+        ),
+        check=_check,
+        paths=lambda rel: rel.endswith(".py") and rel.startswith("benchmarks/"),
+    )
+)

@@ -1,0 +1,147 @@
+"""spawn-safety: worker processes boot from picklable module-level recipes.
+
+The pool's crash-respawn contract (PR 5) requires every worker to be
+reconstructable from its spec alone, and the spawn start method
+requires the target to be importable by name.  Checks:
+
+* ``Process(target=...)`` must not ship a lambda, a nested function
+  (closure state silently disappears — or fails to pickle — under
+  spawn), or a bound ``self.method`` (drags the whole parent object,
+  pool handles and all, through pickle);
+* no touching ``multiprocessing.resource_tracker`` — PR 6's reply
+  lanes rely on spawned workers sharing the parent's tracker fd, where
+  the attach-register is an idempotent set-add and the parent's
+  ``unlink`` performs the single matching unregister.  A child-side
+  ``unregister`` strips the parent's entry and turns its later unlink
+  into a double-unregister.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..framework import Finding, ModuleContext, Rule, dotted_name, register
+
+RULE_ID = "spawn-safety"
+
+
+def _nested_function_names(tree: ast.AST) -> Set[str]:
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+    return nested
+
+
+def _target_expr(call: ast.Call) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == "target":
+            return kw.value
+    if len(call.args) >= 2:  # Process(group, target, ...)
+        return call.args[1]
+    return None
+
+
+def _check(ctx: ModuleContext) -> Iterator[Finding]:
+    nested = _nested_function_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            modules = (
+                [alias.name for alias in node.names]
+                if isinstance(node, ast.Import)
+                else [node.module or ""]
+                + [f"{node.module}.{a.name}" for a in node.names]
+            )
+            if any("resource_tracker" in m for m in modules):
+                yield ctx.finding(
+                    RULE_ID,
+                    node,
+                    "multiprocessing.resource_tracker imported — worker "
+                    "code must leave tracker bookkeeping to the parent",
+                    "the parent's SharedMemory unlink performs the single "
+                    "unregister; see repro/serve/pool.py _attach_lane",
+                )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        func_name = dotted_name(node.func)
+        if "resource_tracker" in func_name and func_name.endswith("unregister"):
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                "child-side resource-tracker unregister strips the "
+                "parent's registration and double-unregisters on unlink",
+                "leave the tracker alone; ownership stays with the "
+                "parent (repro/serve/pool.py _attach_lane)",
+            )
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "Process"
+        ) and func_name != "Process":
+            continue
+        target = _target_expr(node)
+        if target is None:
+            continue
+        if isinstance(target, ast.Lambda):
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                "lambda shipped as a Process target — unpicklable under "
+                "the spawn start method",
+                "use a module-level worker function taking an explicit "
+                "spec (see repro/serve/pool.py _worker_main)",
+            )
+        elif isinstance(target, ast.Name) and target.id in nested:
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                f"nested function {target.id!r} shipped as a Process "
+                "target — closures are not importable by the spawned child",
+                "hoist the worker to module level and pass its state as "
+                "an explicit picklable spec",
+            )
+        elif isinstance(target, ast.Attribute) and dotted_name(target).startswith(
+            "self."
+        ):
+            yield ctx.finding(
+                RULE_ID,
+                node,
+                "bound method shipped as a Process target — pickles the "
+                "entire parent object (pipes, pools, caches) into the child",
+                "use a module-level function plus an explicit spec dict",
+            )
+
+
+register(
+    Rule(
+        id=RULE_ID,
+        title="Process targets are module-level and spec-driven; tracker untouched",
+        contract=(
+            "Every worker is reconstructable from a picklable spec "
+            "(crash respawn), and shared-memory tracker ownership stays "
+            "with the parent (single unlink/unregister)."
+        ),
+        rationale=(
+            "PR 5's pool respawns crashed workers from their spec; that "
+            "only works when the Process target is a module-level "
+            "function driven by explicit picklable state — lambdas, "
+            "closures and bound methods either fail to pickle under "
+            "spawn or silently drag the parent's state (and its fds) "
+            "into the child.  PR 6's reply lanes additionally depend on "
+            "the parent owning the resource-tracker registration: a "
+            "child-side unregister makes the parent's unlink "
+            "double-unregister and spews tracker warnings at exit."
+        ),
+        motivated_by=(
+            "PR 5 WorkerHandle respawn recipe and PR 6 reply-lane "
+            "tracker note (repro/serve/pool.py _attach_lane docstring; "
+            "tests/test_pool.py lane lifecycle tests)"
+        ),
+        check=_check,
+        paths=lambda rel: rel.endswith(".py") and rel.startswith("src/"),
+    )
+)

@@ -1,0 +1,132 @@
+"""workspace-discipline: every acquire() is released, in a finally.
+
+The :mod:`repro.graph.workspace` pool hands out timestamp-versioned
+search workspaces; an acquired workspace that is not released leaks a
+pool slot, and one released outside ``finally`` leaks it on the
+exception path — which the pool-discipline tests showed can poison a
+*later* query with a half-initialised workspace.  Three checks, all
+function-local (the repo's convention is strict lexical pairing):
+
+* ``ws = acquire(...)`` with no ``release(..., ws)`` in the function;
+* a ``release(..., ws)`` that is not inside a ``finally`` block;
+* re-acquiring into a name that is still live (``ws = acquire(...)``
+  twice with no release in between) — the first workspace is lost.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from ..framework import Finding, ModuleContext, Rule, own_nodes, register
+
+RULE_ID = "workspace-discipline"
+
+
+def _is_call_to(node: ast.AST, name: str) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == name
+    )
+
+
+def _in_finally(ctx: ModuleContext, node: ast.AST) -> bool:
+    child = node
+    for parent in ctx.ancestors(node):
+        if isinstance(parent, ast.Try):
+            for stmt in parent.finalbody:
+                if child is stmt or any(sub is child for sub in ast.walk(stmt)):
+                    return True
+        child = parent
+    return False
+
+
+def _check(ctx: ModuleContext) -> Iterator[Finding]:
+    for func in ast.walk(ctx.tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        acquires: List[Tuple[str, ast.Assign]] = []
+        releases: Dict[str, List[ast.Call]] = {}
+        for node in own_nodes(func):
+            if isinstance(node, ast.Assign) and _is_call_to(node.value, "acquire"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        acquires.append((target.id, node))
+            elif _is_call_to(node, "release"):
+                for arg in node.args:
+                    if isinstance(arg, ast.Name):
+                        releases.setdefault(arg.id, []).append(node)
+        if not acquires:
+            continue
+        for name, assign in acquires:
+            rels = releases.get(name, [])
+            if not rels:
+                yield ctx.finding(
+                    RULE_ID,
+                    assign,
+                    f"workspace {name!r} is acquired but never released "
+                    "in this function",
+                    "pair acquire() with release() in a try/finally "
+                    "(see repro/graph/traversal.py)",
+                )
+                continue
+            for rel_call in rels:
+                if not _in_finally(ctx, rel_call):
+                    yield ctx.finding(
+                        RULE_ID,
+                        rel_call,
+                        f"release of workspace {name!r} is not inside a "
+                        "finally block — the exception path leaks the slot",
+                        "move the release() into `finally:`",
+                    )
+        # Re-acquire while live: two acquires into one name with no
+        # release in statement order between them.
+        by_name: Dict[str, List[int]] = {}
+        for name, assign in acquires:
+            by_name.setdefault(name, []).append(assign.lineno)
+        for name, acq_lines in by_name.items():
+            if len(acq_lines) < 2:
+                continue
+            rel_lines = sorted(c.lineno for c in releases.get(name, []))
+            acq_lines.sort()
+            for first, second in zip(acq_lines, acq_lines[1:]):
+                if not any(first < r <= second for r in rel_lines):
+                    node = next(a for n, a in acquires if n == name and a.lineno == second)
+                    yield ctx.finding(
+                        RULE_ID,
+                        node,
+                        f"workspace {name!r} re-acquired while the previous "
+                        "acquisition is still live — the first slot is lost",
+                        "release the workspace before re-acquiring, or use "
+                        "a second name (ws_f / ws_b)",
+                    )
+
+
+register(
+    Rule(
+        id=RULE_ID,
+        title="acquire()/release() pair lexically, release in finally",
+        contract=(
+            "Every acquired SearchWorkspace returns to the pool on every "
+            "path, so no query ever observes another query's half-reset "
+            "arrays."
+        ),
+        rationale=(
+            "The PR-1 workspace pool replaced per-query dicts with "
+            "pooled versioned arrays; PR 2 added pool-discipline tests "
+            "after finding that an exception between acquire and release "
+            "could poison the pool for a later query.  The convention — "
+            "acquire, try, finally release — is purely lexical, so the "
+            "linter can enforce it on every function, including the "
+            "two-workspace bidirectional searches."
+        ),
+        motivated_by=(
+            "PR 2 workspace pool-discipline tests "
+            "(tests/test_workspace_csr.py) and every engine's "
+            "try/finally in repro/baselines/"
+        ),
+        check=_check,
+        paths=lambda rel: rel.endswith(".py") and rel.startswith("src/"),
+    )
+)

@@ -396,7 +396,10 @@ def assign_levels(
         marked_edges: Set[Tuple[int, int]] = set()
         new_cores: Set[int] = set()
         extraction: Dict[Region, Tuple] = {}
-        for region in regions:
+        # Sorted: `regions` is a set, and this loop's order reaches the
+        # extraction dict, region_counts and shortcut creation — answer
+        # structure must not depend on hash order.
+        for region in sorted(regions, key=lambda r: (r.level, r.rx, r.ry)):
             inside = _region_inside(node_grid, region, buckets)
             if not inside:
                 continue
@@ -424,7 +427,7 @@ def assign_levels(
                     found |= _solve_region_axis(problem)
             if region_counts is not None:
                 region_counts[i].append(len(found))
-            for a, b in found:
+            for a, b in sorted(found):
                 marked_edges.add((a, b))
                 new_cores.add(a)
                 new_cores.add(b)
@@ -432,7 +435,7 @@ def assign_levels(
         # nodes by construction, but guard anyway).
         new_cores &= alive
         pseudo[i] = sorted(marked_edges)
-        for u in new_cores:
+        for u in sorted(new_cores):
             levels[u] = i
 
         # ---- pass 2: shortcuts bridging nodes about to be dropped ----

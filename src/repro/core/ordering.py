@@ -108,7 +108,7 @@ def compute_ranks(
             in_cover_pos[u] = pos
         if downgrade:
             cover = set(xi)
-            for u in level_nodes:
+            for u in sorted(level_nodes):
                 if u not in cover:
                     eff_levels[u] = i - 1
 

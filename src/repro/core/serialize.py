@@ -106,6 +106,7 @@ from __future__ import annotations
 
 import io
 import struct
+import sys
 from array import array
 from bisect import bisect_left
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
@@ -1145,7 +1146,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bundle (or bare index/graph) file to report on",
     )
     args = parser.parse_args(argv)
-    sections = inspect_bundle(args.inspect)
+    try:
+        sections = inspect_bundle(args.inspect)
+    except OSError as exc:
+        print(f"error: cannot read {args.inspect}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    except (struct.error, ValueError, EOFError) as exc:
+        print(
+            f"error: {args.inspect} is not a valid bundle: {exc}", file=sys.stderr
+        )
+        return 2
+    if not sections:
+        print(f"error: {args.inspect} is empty (no sections)", file=sys.stderr)
+        return 2
     total = 0
     for sec in sections:
         total += sec["bytes"]

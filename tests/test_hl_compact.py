@@ -417,6 +417,38 @@ def test_inspect_cli_runs_as_module(tmp_path, towns_hl):
     assert "HLIDX2" in proc.stdout
 
 
+def test_inspect_cli_rejects_garbage_file(tmp_path, capsys):
+    path = tmp_path / "junk.bundle"
+    path.write_bytes(b"this is not a bundle at all")
+    assert serialize_main(["--inspect", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "not a valid bundle" in err
+    assert "Traceback" not in err
+
+
+def test_inspect_cli_rejects_truncated_bundle(tmp_path, towns_hl, capsys):
+    path = tmp_path / "towns.bundle"
+    save_bundle(towns_hl, str(path))
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    assert serialize_main(["--inspect", str(path)]) == 2
+    assert "not a valid bundle" in capsys.readouterr().err
+
+
+def test_inspect_cli_rejects_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.bundle"
+    path.write_bytes(b"")
+    assert serialize_main(["--inspect", str(path)]) == 2
+    assert "empty" in capsys.readouterr().err
+
+
+def test_inspect_cli_missing_file(tmp_path, capsys):
+    assert serialize_main(["--inspect", str(tmp_path / "nope.bundle")]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert "Traceback" not in err
+
+
 # ----------------------------------------------------------------------
 # The generic numpy view helper
 # ----------------------------------------------------------------------
