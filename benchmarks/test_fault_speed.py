@@ -1,0 +1,438 @@
+"""Fault-episode perf guard for the resilience layer (PR 8).
+
+Three scripted-outage A/Bs on ``NH``, all **parity-asserted against the
+direct planner before any clock** (resilience that changes answers is
+not resilience):
+
+* **Kill episode**: per-dispatch latency while a :class:`FaultPlan`
+  kills one worker mid-batch at scripted dispatches, vs the same
+  workload with no plan.  The p99 delta prices detection + respawn +
+  retry; the *steady* numbers double as the "fault hooks are free when
+  off" baseline.
+* **Straggler tail, hedged vs not**: one worker stalls at scripted
+  dispatches.  Unhedged, every stalled dispatch eats the full stall;
+  with ``hedge_after_s`` set, the idle replica answers and the episode
+  p99 collapses toward steady state.  The reduction is sleep-dominated
+  rather than CPU-dominated, so a *qualitative* floor (hedged tail
+  strictly below unhedged) holds even on one core; the quantitative
+  floor is gated on ``visible_cpus``.
+* **Breaker-degraded throughput**: every slot quarantined by a
+  tripped-open :class:`CircuitBreaker`, the pool serving through its
+  in-dispatcher planner fallback — recorded against normal pool
+  throughput to price the documented degraded mode (no floor: the
+  ratio measures one core doing two tiers' work).
+
+Results go to ``BENCH_faults.json`` with environment metadata plus the
+visible CPU count.  ``--check`` (CI, both backend legs) runs a small
+workload through every scenario asserting parity, typed-failure
+accounting (watchdog/retry/hedge/breaker counters actually moved) and
+leak-freedom only — no timing — and writes ``BENCH_faults.check.json``
+so the committed timing record is never clobbered by a CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro import backend
+from repro.baselines import HubLabelIndex
+from repro.baselines.base import DistanceRequest, OneToManyRequest, QueryPlanner
+from repro.bench.harness import (
+    FaultEpisodeRecord,
+    environment_metadata,
+    episode_percentiles,
+)
+from repro.core.serialize import bundle_bytes
+from repro.datasets import dataset
+from repro.serve import CircuitBreaker, FaultPlan, WorkerPool
+from repro.serve import faults
+
+DATASET = "NH"
+WORKERS = 2
+DISPATCHES = 60
+BATCH = 48
+KILL_AT = (10, 25, 40)
+STALL_AT = tuple(range(6, DISPATCHES, 9))
+STALL_S = 0.1
+HEDGE_AFTER_S = 0.02
+#: Dispatch spacing for the straggler A/B: with first-answer-wins the
+#: loser's duplicate drains *between* dispatches, so back-to-back
+#: dispatches would keep the straggling slot sidelined past the next
+#: scripted stall.  25ms spacing (a 40 req/s arrival process) lets each
+#: stall finish draining before the next one is due on the schedule.
+PACE_S = 0.025
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_workload(graph, dispatches=DISPATCHES, batch=BATCH):
+    """``dispatches`` fixed batches of point + one-to-many requests."""
+    n = graph.n
+    out = []
+    for d in range(dispatches):
+        reqs = [
+            DistanceRequest((d * 131 + i * 17) % n, (d * 37 + i * 101) % n)
+            for i in range(batch - 2)
+        ]
+        reqs.append(OneToManyRequest((d * 13) % n, tuple((d + j * 7) % n for j in range(8))))
+        reqs.append(OneToManyRequest((d * 29 + 5) % n, tuple((d + j * 11) % n for j in range(8))))
+        out.append(reqs)
+    return out
+
+
+def reference_answers(hl, batches):
+    planner = QueryPlanner(hl)
+    return [planner.execute(b) for b in batches]
+
+
+def _timed_run(pool, batches, reference, pace_s=0.0):
+    """Per-dispatch latencies; every answer parity-checked off the clock.
+
+    ``pace_s`` spaces dispatches like an arrival process (the sleep sits
+    outside the clocked window) — without it, 60 dispatches finish in
+    milliseconds and a straggler can never drain between them.
+    """
+    latencies = []
+    for batch, want in zip(batches, reference):
+        t0 = time.perf_counter()
+        got = pool.execute(batch)
+        latencies.append(time.perf_counter() - t0)
+        assert got == want, "served batch != direct planner"
+        if pace_s:
+            time.sleep(pace_s)
+    return latencies
+
+
+def _steady_run(blob, batches, reference, pace_s=0.0, **pool_kwargs):
+    with WorkerPool(blob, workers=WORKERS, **pool_kwargs) as pool:
+        latencies = _timed_run(pool, batches, reference, pace_s)
+        stats = pool.stats()
+    return latencies, stats
+
+
+def _assert_no_leaked_lanes(names):
+    from multiprocessing import shared_memory
+
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        seg.close()
+        raise AssertionError(f"reply lane {name} outlived its pool")
+
+
+def bench_kill_episode(blob, batches, reference, steady):
+    """Latency through scripted kill-one-worker outages, vs steady."""
+    plan = FaultPlan.scripted(
+        {(d, d % WORKERS): faults.kill() for d in KILL_AT}
+    )
+    latencies, stats = _steady_run(
+        blob, batches, reference, fault_plan=plan
+    )
+    assert plan.injected == len(KILL_AT), plan
+    res = stats["resilience"]
+    assert res["retry"]["attempts"] >= len(KILL_AT), res
+    record = FaultEpisodeRecord(
+        scenario="kill",
+        dispatches=len(batches),
+        faults_injected=plan.injected,
+        steady_p50_ms=steady["p50_ms"],
+        steady_p99_ms=steady["p99_ms"],
+        episode_p50_ms=episode_percentiles(latencies)["p50_ms"],
+        episode_p99_ms=episode_percentiles(latencies)["p99_ms"],
+        recovered=True,  # parity held through and after the outage
+    )
+    return {
+        "kills_at": list(KILL_AT),
+        "episode": episode_percentiles(latencies),
+        "retry_attempts": res["retry"]["attempts"],
+        "respawns": stats["respawns"],
+        "record": asdict(record),
+    }
+
+
+def bench_straggler_tail(blob, batches, reference, steady):
+    """Stalled-worker tail with and without hedged re-dispatch."""
+    out = {}
+    for label, kwargs in (
+        ("unhedged", {"recv_timeout_s": 30.0}),
+        (
+            "hedged",
+            {
+                "recv_timeout_s": 30.0,
+                "hedge_after_s": HEDGE_AFTER_S,
+                "hedge_grace_s": 2.0,
+            },
+        ),
+    ):
+        plan = FaultPlan.scripted(
+            {(d, 1): faults.stall(STALL_S) for d in STALL_AT}
+        )
+        latencies, stats = _steady_run(
+            blob, batches, reference, pace_s=PACE_S, fault_plan=plan, **kwargs
+        )
+        assert plan.injected == len(STALL_AT), plan
+        h = stats["resilience"]["hedge"]
+        if label == "hedged":
+            assert h["hedges"] >= 1, stats["resilience"]
+            assert h["mismatches"] == 0, stats["resilience"]
+        out[label] = {
+            "episode": episode_percentiles(latencies),
+            "hedges": h["hedges"],
+            "hedge_wins": h["wins"],
+            "hedge_parity_checks": h["parity_checks"],
+        }
+    unhedged_p99 = out["unhedged"]["episode"]["p99_ms"]
+    hedged_p99 = out["hedged"]["episode"]["p99_ms"]
+    record = FaultEpisodeRecord(
+        scenario="stall-hedged",
+        dispatches=len(batches),
+        faults_injected=len(STALL_AT),
+        steady_p50_ms=steady["p50_ms"],
+        steady_p99_ms=steady["p99_ms"],
+        episode_p50_ms=out["hedged"]["episode"]["p50_ms"],
+        episode_p99_ms=hedged_p99,
+        recovered=True,
+    )
+    return {
+        "stalls_at": list(STALL_AT),
+        "stall_s": STALL_S,
+        "hedge_after_s": HEDGE_AFTER_S,
+        "pace_s": PACE_S,
+        "p99_reduction": round(unhedged_p99 / max(hedged_p99, 1e-9), 2),
+        "sides": out,
+        "record": asdict(record),
+    }
+
+
+def bench_breaker_degraded(blob, batches, reference, steady_latencies):
+    """Throughput with every slot quarantined (planner fallback) vs pool."""
+    breaker = CircuitBreaker(
+        WORKERS, threshold=1, cooldown_s=3600.0, cooldown_cap_s=7200.0
+    )
+    with WorkerPool(blob, workers=WORKERS, breaker=breaker) as pool:
+        for slot in range(WORKERS):
+            breaker.record_failure(slot)
+        latencies = _timed_run(pool, batches, reference)
+        stats = pool.stats()
+    res = stats["resilience"]["breaker"]
+    assert res["fallback_batches"] == len(batches), res
+    requests = sum(len(b) for b in batches)
+    pool_s = sum(steady_latencies)
+    degraded_s = sum(latencies)
+    return {
+        "episode": episode_percentiles(latencies),
+        "fallback_batches": res["fallback_batches"],
+        "quarantine_skips": res["quarantine_skips"],
+        "pool_req_per_s": round(requests / pool_s, 1),
+        "degraded_req_per_s": round(requests / degraded_s, 1),
+        "degraded_vs_pool_throughput": round(pool_s / degraded_s, 3),
+    }
+
+
+def build_and_verify(dispatches=DISPATCHES, batch=BATCH):
+    graph = dataset(DATASET)
+    hl = HubLabelIndex(graph)
+    blob = bundle_bytes(hl)
+    batches = build_workload(graph, dispatches, batch)
+    reference = reference_answers(hl, batches)
+    result = {
+        "dataset": DATASET,
+        "n": graph.n,
+        "m": graph.m,
+        "environment": environment_metadata(),
+        "visible_cpus": visible_cpus(),
+        "workload": {
+            "dispatches": dispatches,
+            "requests_per_dispatch": batch,
+            "shape": "fixed point + one-to-many batches, deterministic "
+            "endpoints, served one dispatch at a time",
+        },
+    }
+    return blob, batches, reference, result
+
+
+def run_benchmark():
+    blob, batches, reference, result = build_and_verify()
+    cpus = visible_cpus()
+    backends = {}
+    names = (["numpy"] if backend.HAS_NUMPY else []) + ["pure"]
+    for name in names:
+        with backend.forced(name):
+            steady_lat, steady_stats = _steady_run(
+                blob, batches, reference, backend_name=name
+            )
+            assert steady_stats["respawns"] == 0, steady_stats
+            steady = episode_percentiles(steady_lat)
+            backends[backend.active()] = {
+                "steady": steady,
+                "kill_episode": bench_kill_episode(
+                    blob, batches, reference, steady
+                ),
+                "straggler": bench_straggler_tail(
+                    blob, batches, reference, steady
+                ),
+                "breaker_degraded": bench_breaker_degraded(
+                    blob, batches, reference, steady_lat
+                ),
+            }
+    headline = {
+        "note": "every clocked batch parity-asserted against the direct "
+        "QueryPlanner (bit-identical answers through kills, stalls and "
+        "degraded mode).  Kill-episode p99 prices detection + respawn + "
+        "retry; the straggler A/B prices the hedge; breaker-degraded "
+        "throughput prices the documented single-process fallback.  "
+        "This box exposes %d CPU(s): wall-clock ratios are honest for "
+        "this machine, and the quantitative hedging floor only binds "
+        "with >= 2 cores." % cpus,
+        "visible_cpus": cpus,
+    }
+    for name, rec in backends.items():
+        headline[f"{name}_steady_p99_ms"] = rec["steady"]["p99_ms"]
+        headline[f"{name}_kill_episode_p99_ms"] = rec["kill_episode"][
+            "episode"
+        ]["p99_ms"]
+        headline[f"{name}_hedge_p99_reduction"] = rec["straggler"][
+            "p99_reduction"
+        ]
+        headline[f"{name}_degraded_vs_pool_throughput"] = rec[
+            "breaker_degraded"
+        ]["degraded_vs_pool_throughput"]
+    result.update(
+        {
+            "method": "per-dispatch wall clocks over %d dispatches x %d "
+            "requests, fresh pool per scenario, parity before every "
+            "clock; scripted FaultPlans (seedless, fully enumerated) so "
+            "every run injects the identical outage" % (DISPATCHES, BATCH),
+            "headline": headline,
+            "scenarios": backends,
+        }
+    )
+    return result
+
+
+def run_check():
+    """CI mode: every scenario exercised, counters verified — no timing."""
+    blob, batches, reference, result = build_and_verify(
+        dispatches=12, batch=16
+    )
+    checks = {}
+    names = (["numpy"] if backend.HAS_NUMPY else []) + ["pure"]
+    for name in names:
+        with backend.forced(name):
+            # kill + stall + corrupt in one scripted plan, healed exactly
+            plan = FaultPlan.scripted(
+                {
+                    (1, 0): faults.kill(),
+                    (3, 1): faults.stall(0.6),
+                    (5, 0): faults.corrupt(),
+                    (7, 1): faults.truncate(),
+                }
+            )
+            pool = WorkerPool(
+                blob,
+                workers=WORKERS,
+                backend_name=name,
+                recv_timeout_s=0.25,
+                fault_plan=plan,
+            )
+            lanes = [ln.name for ln in pool._lanes if ln is not None]
+            try:
+                for batch, want in zip(batches, reference):
+                    assert pool.execute(batch) == want, (
+                        f"{name}: served != direct planner under faults"
+                    )
+                stats = pool.stats()
+            finally:
+                pool.close()
+            _assert_no_leaked_lanes(lanes)
+            assert plan.injected == 4 and len(plan) == 0, plan
+            res = stats["resilience"]
+            assert res["watchdog_timeouts"] >= 1, res  # the stall
+            assert res["retry"]["attempts"] >= 3, res
+            assert stats["reply_path"]["crc_failures"] >= 2, stats
+            checks[backend.active()] = {
+                "parity": "bit-identical to the direct planner through "
+                "kill/stall/corrupt/truncate",
+                "faults_injected": plan.injected,
+                "watchdog_timeouts": res["watchdog_timeouts"],
+                "retry_attempts": res["retry"]["attempts"],
+                "crc_failures": stats["reply_path"]["crc_failures"],
+                "respawns": stats["respawns"],
+                "no_leaked_segments": True,
+            }
+    # Breaker-degraded parity (backend-independent: one pass)
+    breaker = CircuitBreaker(
+        WORKERS, threshold=1, cooldown_s=3600.0, cooldown_cap_s=7200.0
+    )
+    with WorkerPool(blob, workers=WORKERS, breaker=breaker) as pool:
+        for slot in range(WORKERS):
+            breaker.record_failure(slot)
+        for batch, want in zip(batches[:4], reference[:4]):
+            assert pool.execute(batch) == want, "degraded mode != planner"
+        fb = pool.stats()["resilience"]["breaker"]["fallback_batches"]
+    assert fb == 4, fb
+    result["mode"] = (
+        "check (parity + fault accounting + leak-freedom; timings omitted)"
+    )
+    result["scenarios"] = checks
+    result["breaker_degraded"] = {"fallback_batches": fb, "parity": True}
+    return result
+
+
+def write_json(result, path=None):
+    if path is None:
+        name = (
+            "BENCH_faults.check.json" if "mode" in result else "BENCH_faults.json"
+        )
+        path = Path(__file__).resolve().parent.parent / name
+    Path(path).write_text(json.dumps(result, indent=2) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Pytest guard
+# ----------------------------------------------------------------------
+def test_fault_speed():
+    """Fault episodes: exactness and accounting always; floors when physical.
+
+    Parity through every scenario gates unconditionally (it is asserted
+    inside every timed run).  The hedging tail reduction is asserted
+    qualitatively everywhere (stalls are sleeps, not CPU work) and
+    quantitatively only with >= 2 visible CPUs.
+    """
+    result = run_benchmark()
+    for name, rec in result["scenarios"].items():
+        straggler = rec["straggler"]
+        unhedged = straggler["sides"]["unhedged"]["episode"]["p99_ms"]
+        hedged = straggler["sides"]["hedged"]["episode"]["p99_ms"]
+        assert hedged < unhedged, (name, straggler)
+        assert rec["breaker_degraded"]["fallback_batches"] > 0
+        if result["visible_cpus"] >= 2:
+            # The stall is 250ms and the hedge fires at 20ms: even a
+            # conservative floor leaves a wide margin over scheduling
+            # noise.  The committed BENCH_faults.json carries the real
+            # quiet-machine ratio.
+            assert straggler["p99_reduction"] >= 2.0, (name, straggler)
+
+
+if __name__ == "__main__":
+    if "--check" in sys.argv[1:]:
+        res = run_check()
+    else:
+        res = run_benchmark()
+    out = write_json(res)
+    print(json.dumps(res, indent=2))
+    print(f"\nwrote {out}")

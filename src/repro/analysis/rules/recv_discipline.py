@@ -1,0 +1,186 @@
+"""recv-timeout-discipline: no unbounded pipe waits in the serving tier.
+
+PR 8's resilience contract is "every unanswerable request fails typed,
+never hangs" — which dies the moment any parent-side pipe wait has no
+deadline: a stalled-but-alive worker (SIGSTOP, lock wedge) then parks
+the dispatcher forever, exactly the failure the watchdog machinery was
+built to catch.  The checks, applied to ``src/repro/serve/`` (except
+``faults.py``, whose worker-side appliers *are* the injected faults):
+
+* no ``.poll()`` without a timeout — a bare or ``poll(None)`` call
+  blocks until the peer writes;
+* no bare ``.recv()`` / ``.recv_bytes()`` in a scope that never makes
+  a timed ``.poll(...)`` / ``wait(..., timeout=...)`` call — recv has
+  no timeout parameter of its own, so a timed poll (or connection
+  ``wait``) must bound it;
+* no ``multiprocessing.connection.wait`` without a ``timeout=``;
+* every fault-injection touch (``faults.*`` module calls, any
+  ``fault_plan`` access) sits behind an ``is None`` fast-path
+  conditional, so the production pool compiles the harness to a no-op.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    functions,
+    own_nodes,
+    register,
+)
+
+RULE_ID = "recv-timeout-discipline"
+
+#: Access into the faults module (``faults.kill`` / ``_faults.apply_pre``).
+_FAULT_MODULE_RE = re.compile(r"(^|\.)_?faults\.")
+
+
+def _is_none(node) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _poll_is_timed(call: ast.Call) -> bool:
+    """``poll(x)`` with a non-None timeout; bare/None polls block forever."""
+    if call.args:
+        return not _is_none(call.args[0])
+    for kw in call.keywords:
+        if kw.arg == "timeout":
+            return not _is_none(kw.value)
+    return False
+
+
+def _is_conn_wait(name: str) -> bool:
+    return name.endswith("_conn_wait") or name.endswith("connection.wait")
+
+
+def _wait_is_timed(call: ast.Call) -> bool:
+    if len(call.args) >= 2:
+        return not _is_none(call.args[1])
+    return any(
+        kw.arg == "timeout" and not _is_none(kw.value)
+        for kw in call.keywords
+    )
+
+
+def _is_fault_touch(name: str) -> bool:
+    return bool(_FAULT_MODULE_RE.search(name)) or "fault_plan" in name
+
+
+def _test_guards_faults(test: ast.AST) -> bool:
+    """Does this conditional compare a fault-ish identifier with None?"""
+    mentions_fault = any(
+        isinstance(sub, ast.Name)
+        and "fault" in sub.id.lower()
+        or isinstance(sub, ast.Attribute)
+        and "fault" in sub.attr.lower()
+        for sub in ast.walk(test)
+    )
+    compares_none = any(_is_none(sub) for sub in ast.walk(test))
+    return mentions_fault and compares_none
+
+
+def _fault_guarded(ctx: ModuleContext, node: ast.AST) -> bool:
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.If, ast.IfExp)) and _test_guards_faults(
+            anc.test
+        ):
+            return True
+    return False
+
+
+def _check(ctx: ModuleContext) -> Iterator[Finding]:
+    scopes = [ctx.tree, *functions(ctx.tree)]
+    for scope in scopes:
+        nodes = [n for n in own_nodes(scope) if isinstance(n, ast.Call)]
+        has_timed_wait = any(
+            (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "poll"
+                and _poll_is_timed(call)
+            )
+            or (_is_conn_wait(dotted_name(call.func)) and _wait_is_timed(call))
+            for call in nodes
+        )
+        for call in nodes:
+            name = dotted_name(call.func)
+            attr = call.func.attr if isinstance(call.func, ast.Attribute) else ""
+            if attr == "poll" and not _poll_is_timed(call):
+                yield ctx.finding(
+                    RULE_ID,
+                    call,
+                    "unbounded .poll() blocks until the peer writes — a "
+                    "stalled worker hangs this caller forever",
+                    "pass a timeout (poll(t)) and raise WorkerStalled on "
+                    "expiry",
+                )
+            elif (
+                attr in ("recv", "recv_bytes")
+                and not call.args
+                and not call.keywords
+                and not has_timed_wait
+            ):
+                yield ctx.finding(
+                    RULE_ID,
+                    call,
+                    f"bare .{attr}() in a scope with no timed poll/wait — "
+                    "recv has no deadline of its own",
+                    "guard the recv behind conn.poll(timeout) (see "
+                    "WorkerHandle.recv)",
+                )
+            elif _is_conn_wait(name) and not _wait_is_timed(call):
+                yield ctx.finding(
+                    RULE_ID,
+                    call,
+                    "connection wait() without timeout= parks the "
+                    "dispatcher until some worker answers",
+                    "pass timeout= and treat expiry as WorkerStalled",
+                )
+            if _is_fault_touch(name) and not _fault_guarded(ctx, call):
+                yield ctx.finding(
+                    RULE_ID,
+                    call,
+                    "fault-injection touch outside a `... is None` "
+                    "fast-path conditional — the chaos hook would run on "
+                    "the production path",
+                    "wrap the call in `if fault_plan is not None:` (or "
+                    "`if fault is not None:`)",
+                )
+
+
+register(
+    Rule(
+        id=RULE_ID,
+        title="every serve-tier pipe wait is bounded; fault hooks no-op in production",
+        contract=(
+            "No recv/poll/wait in repro.serve can block without a "
+            "deadline, and every fault-injection site sits behind a "
+            "`FaultPlan is None` fast path."
+        ),
+        rationale=(
+            "PR 8's watchdog/hedging layer guarantees that a stalled "
+            "worker surfaces as a typed WorkerStalled within the recv "
+            "deadline instead of hanging the dispatcher.  One unbounded "
+            "poll() or bare recv() silently reopens the hang the whole "
+            "layer exists to close — and, symmetrically, a fault hook "
+            "outside its None-guard would tax (or sabotage) the "
+            "production hot path the harness promises never to touch."
+        ),
+        motivated_by=(
+            "PR 8 fault-injection harness (repro/serve/faults.py, "
+            "tests/test_faults.py) and the WorkerHandle.recv watchdog "
+            "in repro/serve/pool.py"
+        ),
+        check=_check,
+        paths=lambda rel: (
+            rel.startswith("src/repro/serve/")
+            and rel.endswith(".py")
+            and not rel.endswith("/faults.py")
+        ),
+    )
+)

@@ -32,11 +32,13 @@ from ..graph.graph import Graph
 __all__ = [
     "ENGINE_FACTORIES",
     "BuildRecord",
+    "FaultEpisodeRecord",
     "OpenLoopRecord",
     "QueryRecord",
     "ServeRecord",
     "build_engine",
     "environment_metadata",
+    "episode_percentiles",
     "latency_percentile",
     "run_closed_loop",
     "run_open_loop",
@@ -161,6 +163,50 @@ class OpenLoopRecord:
     max_ms: float
     #: Array backend active during the run (see BuildRecord).
     backend: str = field(default_factory=backend.active)
+
+
+@dataclass(frozen=True)
+class FaultEpisodeRecord:
+    """Latency picture of one scripted fault episode (the PR 8 dimension).
+
+    A *fault episode* is a span of dispatches during which a
+    :class:`repro.serve.FaultPlan` injects scripted failures
+    (kill/stall/corrupt); ``steady_*`` is the same workload on the same
+    pool with no plan.  Both sides are parity-asserted against the
+    direct planner before any clock, so these numbers only ever
+    describe *correct* service — the record quantifies what surviving
+    an outage costs, never what dropping exactness buys.
+    """
+
+    scenario: str  # "kill" | "stall-unhedged" | "stall-hedged" | ...
+    dispatches: int
+    faults_injected: int
+    steady_p50_ms: float
+    steady_p99_ms: float
+    episode_p50_ms: float
+    episode_p99_ms: float
+    #: Pool answered bit-exactly *after* the episode too (no desync).
+    recovered: bool
+    #: Array backend active during the run (see BuildRecord).
+    backend: str = field(default_factory=backend.active)
+
+
+def episode_percentiles(latencies_s: Sequence[float]) -> Dict[str, float]:
+    """p50/p99/mean/max (milliseconds) of per-dispatch latencies.
+
+    The percentile definition is the shared linear-interpolated
+    :func:`latency_percentile`, so episode numbers line up with the
+    open-loop records in ``BENCH_serve.json``.
+    """
+    if not latencies_s:
+        return {"p50_ms": 0.0, "p99_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0}
+    ordered = sorted(latencies_s)
+    return {
+        "p50_ms": round(latency_percentile(ordered, 0.50) * 1e3, 3),
+        "p99_ms": round(latency_percentile(ordered, 0.99) * 1e3, 3),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+    }
 
 
 def latency_percentile(sorted_values: Sequence[float], q: float) -> float:

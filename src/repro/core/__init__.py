@@ -19,6 +19,7 @@ from .lemmas import (
 from .ordering import RankAssignment, compute_ranks, greedy_vertex_cover
 from .perturb import PerturbedGraph, perturb_weights, recommended_tau
 from .serialize import (
+    BundleCorrupted,
     index_bytes,
     load_bundle,
     load_graph,
@@ -33,6 +34,7 @@ from .sliding_window import SlidingWindowResult, sliding_window
 
 __all__ = [
     "AHIndex",
+    "BundleCorrupted",
     "FCIndex",
     "arterial_dimension_stats",
     "region_arterial_edges",

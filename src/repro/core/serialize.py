@@ -79,6 +79,22 @@ cases fall back to wider sections automatically.
 with an index section (AH or HL — the magic picks the loader) so one
 file round-trips a deployable (graph, index) pair.
 
+Bundles end with a **CRC trailer** (the robustness PR)::
+
+    per section: offset (int64), length (int64), crc32 (uint32)
+    count  (int64)
+    magic  b"BCRC1\\n"
+
+The magic sits *last* so the trailer is locatable from the file end
+without parsing any section, and so every pre-trailer bundle remains
+loadable: :func:`load_bundle` verifies each section's CRC32 before
+decoding anything and raises :class:`BundleCorrupted` naming the
+failing section — a torn or bit-flipped bundle fails typed instead of
+serving garbage — while a trailer-less (legacy) bundle loads with a
+one-time :class:`RuntimeWarning`.  Raw ``struct.error`` / ``EOFError``
+from a damaged legacy file are wrapped into :class:`BundleCorrupted`
+too, so callers need exactly one except clause.
+
 All flat sections move as whole-column ``tobytes`` blocks (loaded back
 with ``frombuffer`` under the numpy backend) — no per-entry ``struct``
 packing anywhere on the fast paths, and the same bytes regardless of
@@ -107,6 +123,8 @@ from __future__ import annotations
 import io
 import struct
 import sys
+import warnings
+import zlib
 from array import array
 from bisect import bisect_left
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
@@ -119,6 +137,7 @@ from ..spatial.grid import GridPyramid, NodeGrid
 from .ah import AHIndex
 
 __all__ = [
+    "BundleCorrupted",
     "save_index",
     "load_index",
     "index_bytes",
@@ -144,6 +163,93 @@ _DIST_ENC_NAMES = {_DIST_I4: "i4", _DIST_F8: "f8", _DIST_DD: "dd"}
 
 _FLAG_PROXIMITY = 1
 _FLAG_STALL = 2
+
+#: Bundle CRC trailer (written by :func:`save_bundle`): per-section
+#: ``<qqI`` (offset, length, crc32) entries, then the entry count, then
+#: the magic — magic LAST so the trailer is found from the file end.
+_TRAILER_MAGIC = b"BCRC1\n"
+_TRAILER_ENTRY = struct.Struct("<qqI")
+_TRAILER_TAIL = 8 + len(_TRAILER_MAGIC)  # count + magic
+
+_MAGIC_NAMES = {
+    _MAGIC: "AHIDX1",
+    _HL_MAGIC: "HLIDX1",
+    _HL2_MAGIC: "HLIDX2",
+    _GRAPH_MAGIC: "GCSR1",
+}
+
+
+class BundleCorrupted(ValueError):
+    """A serialized bundle/index/graph failed CRC verification or decode.
+
+    ``section`` names where the damage was detected (a section magic
+    such as ``"GCSR1"``, or ``"trailer"`` for a mangled trailer);
+    ``detail`` says what went wrong.  Subclasses :class:`ValueError` so
+    every pre-existing ``except ValueError`` handler keeps working.
+    """
+
+    def __init__(self, section: str, detail: str) -> None:
+        self.section = section
+        self.detail = detail
+        super().__init__(f"bundle section {section!r} is corrupted: {detail}")
+
+    def __reduce__(self):
+        # Two required __init__ args, one message in .args: the default
+        # exception reduce would rebuild from the message alone and
+        # TypeError — and this exception crosses worker pipes (a pool
+        # replica booting from a torn bundle reports it to the parent).
+        return (type(self), (self.section, self.detail))
+
+
+def _section_name(head: bytes, offset: int) -> str:
+    for magic, name in _MAGIC_NAMES.items():
+        if head.startswith(magic):
+            return name
+    return f"section@{offset}"
+
+
+_warned_crcless = False
+
+
+def _warn_crcless() -> None:
+    """One warning per process for legacy (pre-``BCRC1``) bundles."""
+    global _warned_crcless
+    if not _warned_crcless:
+        _warned_crcless = True
+        warnings.warn(
+            "bundle has no CRC trailer (pre-BCRC1 format); loading "
+            "without integrity verification — re-save to add checksums",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+class _CrcWriter:
+    """Write-through wrapper that tracks crc32 + byte count per section.
+
+    :func:`save_bundle` routes the section writers through this so the
+    trailer entries come straight off the outgoing byte stream — no
+    second pass, no seekability requirement on ``sink``.
+    """
+
+    __slots__ = ("_fh", "crc", "nbytes")
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self._fh = fh
+        self.crc = 0
+        self.nbytes = 0
+
+    def write(self, data) -> None:
+        self._fh.write(data)
+        self.crc = zlib.crc32(data, self.crc)
+        self.nbytes += len(data)
+
+    def section_done(self) -> Tuple[int, int]:
+        """(length, crc) of the section written so far; resets counters."""
+        out = (self.nbytes, self.crc)
+        self.crc = 0
+        self.nbytes = 0
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -370,7 +476,10 @@ def load_index(source: Source, graph: Graph, *, mmap: bool = False) -> AHIndex:
         magic = fh.read(len(_MAGIC))
         if magic != _MAGIC:
             raise ValueError("not an AH index file (bad magic)")
-        return _load_index_body(fh, graph)
+        try:
+            return _load_index_body(fh, graph)
+        except (struct.error, EOFError) as exc:
+            raise BundleCorrupted("AHIDX1", str(exc)) from exc
     finally:
         if own:
             fh.close()
@@ -565,10 +674,14 @@ def load_hl_index(
     fh, own = _open_source(source, mmap)
     try:
         magic = fh.read(len(_HL_MAGIC))
-        if magic == _HL_MAGIC:
-            return _load_hl_body(fh, graph)
-        if magic == _HL2_MAGIC:
-            return _load_hl2_body(fh, graph)
+        try:
+            if magic == _HL_MAGIC:
+                return _load_hl_body(fh, graph)
+            if magic == _HL2_MAGIC:
+                return _load_hl2_body(fh, graph)
+        except (struct.error, EOFError) as exc:
+            section = "HLIDX1" if magic == _HL_MAGIC else "HLIDX2"
+            raise BundleCorrupted(section, str(exc)) from exc
         raise ValueError("not a hub-label index file (bad magic)")
     finally:
         if own:
@@ -911,18 +1024,21 @@ def load_graph(source: Source, *, mmap: bool = False) -> Graph:
         magic = fh.read(len(_GRAPH_MAGIC))
         if magic != _GRAPH_MAGIC:
             raise ValueError("not a CSR graph file (bad magic)")
-        n, m = struct.unpack("<qq", _read_exact(fh, 16))
-        # Coordinates stay plain Python lists (Graph.coord hands them
-        # out directly); the six CSR columns come up in the active
-        # backend's container with zero re-derivation.
-        xs = _read_d_array(fh, n).tolist()
-        ys = _read_d_array(fh, n).tolist()
-        out_head = _read_i64_col(fh, n + 1)
-        out_dst = _read_i64_col(fh, m)
-        out_w = _read_f64_col(fh, m)
-        in_head = _read_i64_col(fh, n + 1)
-        in_src = _read_i64_col(fh, m)
-        in_w = _read_f64_col(fh, m)
+        try:
+            n, m = struct.unpack("<qq", _read_exact(fh, 16))
+            # Coordinates stay plain Python lists (Graph.coord hands them
+            # out directly); the six CSR columns come up in the active
+            # backend's container with zero re-derivation.
+            xs = _read_d_array(fh, n).tolist()
+            ys = _read_d_array(fh, n).tolist()
+            out_head = _read_i64_col(fh, n + 1)
+            out_dst = _read_i64_col(fh, m)
+            out_w = _read_f64_col(fh, m)
+            in_head = _read_i64_col(fh, n + 1)
+            in_src = _read_i64_col(fh, m)
+            in_w = _read_f64_col(fh, m)
+        except (struct.error, EOFError) as exc:
+            raise BundleCorrupted("GCSR1", str(exc)) from exc
     finally:
         if own:
             fh.close()
@@ -939,6 +1055,7 @@ def save_bundle(
     sink: Union[str, BinaryIO],
     *,
     compact: bool = True,
+    crc: bool = True,
 ) -> None:
     """Write ``index``'s graph followed by the index itself.
 
@@ -948,22 +1065,146 @@ def save_bundle(
     deployment story the paper's §7 memory-footprint discussion asks
     for.  ``compact`` selects HL2 vs HL1 for hub-label sections (AH
     sections are unaffected).
+
+    ``crc=True`` (the default) appends the ``BCRC1`` trailer — one
+    (offset, length, crc32) entry per section — so :func:`load_bundle`
+    can verify integrity before decoding; ``crc=False`` reproduces the
+    legacy trailer-less format.
     """
     own = isinstance(sink, str)
     fh: BinaryIO = open(sink, "wb") if own else sink  # type: ignore[assignment]
     try:
-        save_graph(index.graph, fh)
+        w = _CrcWriter(fh)
+        entries = []
+        offset = 0
+        save_graph(index.graph, w)  # type: ignore[arg-type]
+        length, section_crc = w.section_done()
+        entries.append((offset, length, section_crc))
+        offset += length
         if isinstance(index, HubLabelIndex):
-            save_hl_index(index, fh, compact=compact)
+            save_hl_index(index, w, compact=compact)  # type: ignore[arg-type]
         else:
-            save_index(index, fh)
+            save_index(index, w)  # type: ignore[arg-type]
+        length, section_crc = w.section_done()
+        entries.append((offset, length, section_crc))
+        if crc:
+            for entry in entries:
+                fh.write(_TRAILER_ENTRY.pack(*entry))
+            fh.write(struct.pack("<q", len(entries)))
+            fh.write(_TRAILER_MAGIC)
     finally:
         if own:
             fh.close()
 
 
+def _parse_trailer_tail(tail: bytes, total: int):
+    """``(count, trailer_start)`` from a bundle's last bytes, or None.
+
+    ``tail`` is the final ``_TRAILER_TAIL`` bytes of the image and
+    ``total`` the number of bundle bytes; a present-but-implausible
+    trailer raises (it means the trailer itself took the damage).
+    """
+    if len(tail) < _TRAILER_TAIL or tail[8:] != _TRAILER_MAGIC:
+        return None
+    (count,) = struct.unpack("<q", tail[:8])
+    tstart = total - _TRAILER_TAIL - _TRAILER_ENTRY.size * count
+    if count <= 0 or tstart < 0:
+        raise BundleCorrupted(
+            "trailer", f"implausible section count {count}"
+        )
+    return count, tstart
+
+
+def _check_entry(offset: int, length: int, limit: int) -> None:
+    if offset < 0 or length < 0 or offset + length > limit:
+        raise BundleCorrupted(
+            "trailer",
+            f"section entry ({offset}, {length}) outside the "
+            f"{limit}-byte data region",
+        )
+
+
+def _verify_crc_trailer(fh) -> str:
+    """Verify a bundle's ``BCRC1`` trailer before anything is decoded.
+
+    Returns ``"verified"``, ``"legacy"`` (no trailer — caller warns) or
+    ``"skipped"`` (non-seekable stream, nothing to be done); raises
+    :class:`BundleCorrupted` naming the damaged section on mismatch.
+    The read position is left where it was found.
+    """
+    if isinstance(fh, _BufferReader):
+        mv, base = fh._mv, fh._pos
+        total = len(mv) - base
+        if total < _TRAILER_TAIL:
+            return "legacy"
+        parsed = _parse_trailer_tail(bytes(mv[len(mv) - _TRAILER_TAIL :]), total)
+        if parsed is None:
+            return "legacy"
+        count, tstart = parsed
+        for i in range(count):
+            offset, length, crc = _TRAILER_ENTRY.unpack_from(
+                mv, base + tstart + _TRAILER_ENTRY.size * i
+            )
+            _check_entry(offset, length, tstart)
+            actual = zlib.crc32(mv[base + offset : base + offset + length])
+            if actual != crc:
+                name = _section_name(
+                    bytes(mv[base + offset : base + offset + 8]), offset
+                )
+                raise BundleCorrupted(
+                    name,
+                    f"CRC mismatch (stored 0x{crc:08x}, "
+                    f"computed 0x{actual:08x})",
+                )
+        return "verified"
+    # Real file handle: verify by seeking, then restore the position.
+    try:
+        pos = fh.tell()
+        fh.seek(0, 2)
+        end = fh.tell()
+    except (OSError, AttributeError, io.UnsupportedOperation):
+        return "skipped"
+    try:
+        if end - pos < _TRAILER_TAIL:
+            return "legacy"
+        fh.seek(end - _TRAILER_TAIL)
+        parsed = _parse_trailer_tail(fh.read(_TRAILER_TAIL), end - pos)
+        if parsed is None:
+            return "legacy"
+        count, tstart = parsed
+        fh.seek(pos + tstart)
+        entries = [
+            _TRAILER_ENTRY.unpack(fh.read(_TRAILER_ENTRY.size))
+            for _ in range(count)
+        ]
+        for offset, length, crc in entries:
+            _check_entry(offset, length, tstart)
+            fh.seek(pos + offset)
+            actual = 0
+            remaining = length
+            while remaining:
+                chunk = fh.read(min(remaining, 1 << 20))
+                if not chunk:
+                    raise BundleCorrupted(
+                        "trailer", "file shorter than its trailer claims"
+                    )
+                actual = zlib.crc32(chunk, actual)
+                remaining -= len(chunk)
+            if actual != crc:
+                fh.seek(pos + offset)
+                name = _section_name(fh.read(8), offset)
+                raise BundleCorrupted(
+                    name,
+                    f"CRC mismatch (stored 0x{crc:08x}, "
+                    f"computed 0x{actual:08x})",
+                )
+        return "verified"
+    finally:
+        fh.seek(pos)
+
+
 def load_bundle(
-    source: Source, *, mmap: bool = False
+    source: Source, *, mmap: bool = False, verify: bool = True
 ) -> Tuple[Graph, Union[AHIndex, HubLabelIndex]]:
     """Load a ``(graph, index)`` pair written by :func:`save_bundle`.
 
@@ -978,19 +1219,39 @@ def load_bundle(
     bundle path, and gets a replica whose big read-only columns view
     that buffer in place (zero-copy under numpy; label columns
     zero-copy on both backends).
+
+    ``verify=True`` (the default) checks the ``BCRC1`` trailer's
+    section CRCs before decoding: a torn or bit-flipped bundle raises
+    :class:`BundleCorrupted` naming the failing section instead of
+    mis-decoding; a legacy trailer-less bundle loads with a one-time
+    :class:`RuntimeWarning`.  Decode-time ``struct.error``/``EOFError``
+    (a damaged legacy file) are wrapped into :class:`BundleCorrupted`
+    as well.
     """
     fh, own = _open_source(source, mmap)
     try:
-        graph = load_graph(fh)
-        magic = fh.read(len(_MAGIC))
-        if magic == _MAGIC:
-            index = _load_index_body(fh, graph)
-        elif magic == _HL_MAGIC:
-            index = _load_hl_body(fh, graph)
-        elif magic == _HL2_MAGIC:
-            index = _load_hl2_body(fh, graph)
-        else:
-            raise ValueError("bundle's index section has an unknown magic")
+        if verify and _verify_crc_trailer(fh) == "legacy":
+            _warn_crcless()
+        section = "GCSR1"
+        try:
+            graph = load_graph(fh)
+            section = "index"
+            magic = fh.read(len(_MAGIC))
+            if magic == _MAGIC:
+                section = "AHIDX1"
+                index = _load_index_body(fh, graph)
+            elif magic == _HL_MAGIC:
+                section = "HLIDX1"
+                index = _load_hl_body(fh, graph)
+            elif magic == _HL2_MAGIC:
+                section = "HLIDX2"
+                index = _load_hl2_body(fh, graph)
+            else:
+                raise ValueError(
+                    "bundle's index section has an unknown magic"
+                )
+        except (struct.error, EOFError) as exc:
+            raise BundleCorrupted(section, str(exc)) from exc
     finally:
         if own:
             fh.close()
@@ -1025,8 +1286,36 @@ def inspect_bundle(source: Source) -> List[dict]:
         if own:
             fh.close()
     sections: List[dict] = []
+    # A BCRC1 trailer (magic last) bounds the section walk; report it as
+    # its own pseudo-section so offsets/sizes still tile the file.
+    limit = len(data)
+    trailer: Optional[dict] = None
+    parsed = (
+        _parse_trailer_tail(data[-_TRAILER_TAIL:], len(data))
+        if len(data) >= _TRAILER_TAIL
+        else None
+    )
+    if parsed is not None:
+        count, tstart = parsed
+        entries = [
+            _TRAILER_ENTRY.unpack_from(data, tstart + _TRAILER_ENTRY.size * i)
+            for i in range(count)
+        ]
+        limit = tstart
+        trailer = {
+            "magic": "BCRC1",
+            "offset": tstart,
+            "bytes": len(data) - tstart,
+            "detail": {
+                "sections": count,
+                "crc32": [
+                    {"offset": off, "bytes": ln, "crc32": f"0x{crc:08x}"}
+                    for off, ln, crc in entries
+                ],
+            },
+        }
     pos = 0
-    while pos < len(data):
+    while pos < limit:
         start = pos
         if data.startswith(_GRAPH_MAGIC, pos):
             pos += len(_GRAPH_MAGIC)
@@ -1117,7 +1406,7 @@ def inspect_bundle(source: Source) -> List[dict]:
             magic = _HL2_MAGIC
         else:
             raise ValueError(f"unknown section magic at byte {pos}")
-        if pos > len(data):
+        if pos > limit:
             raise EOFError("truncated section: file ends inside a section")
         sections.append(
             {
@@ -1127,6 +1416,8 @@ def inspect_bundle(source: Source) -> List[dict]:
                 "detail": detail,
             }
         )
+    if trailer is not None:
+        sections.append(trailer)
     return sections
 
 
@@ -1185,6 +1476,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         if k != "delta_dict_values"
                     )
                     print(f"           {tag}: {side['bytes']} B  {parts}")
+        elif "sections" in detail:
+            crcs = " ".join(e["crc32"] for e in detail["crc32"])
+            print(f"         covers {detail['sections']} section(s)  {crcs}")
         else:
             print(f"         n={detail['n']}")
     print(f"total    {total} bytes, {len(sections)} section(s)")

@@ -39,13 +39,28 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
-from .pool import WorkerCrashed, WorkerPool
+from ..core.serialize import BundleCorrupted
+from .faults import FaultPlan
+from .health import BackoffPolicy, CircuitBreaker
+from .pool import (
+    HedgeMismatch,
+    ReplyCorrupted,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerStalled,
+)
 from .server import DeadlineExpired, Server, ServerClosed, ServerOverloaded
 
 __all__ = [
+    "BackoffPolicy",
+    "BundleCorrupted",
+    "CircuitBreaker",
     "DeadlineExpired",
     "DistanceRequest",
+    "FaultPlan",
+    "HedgeMismatch",
     "OneToManyRequest",
+    "ReplyCorrupted",
     "Request",
     "Server",
     "ServerClosed",
@@ -53,4 +68,5 @@ __all__ = [
     "TableRequest",
     "WorkerCrashed",
     "WorkerPool",
+    "WorkerStalled",
 ]

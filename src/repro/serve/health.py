@@ -1,0 +1,202 @@
+"""``repro.serve.health`` — retry backoff and per-worker circuit breakers.
+
+The pool's fault handling (``repro.serve.pool``) composes three small,
+independently testable policies that live here:
+
+* :class:`BackoffPolicy` — capped exponential backoff with
+  *deterministic* jitter for the respawn-and-retry loop.  Randomised
+  jitter would make chaos tests flaky and replays unreproducible, so
+  the jitter is a hash of ``(slot, attempt)`` — spread like noise
+  across workers and attempts, identical on every run.
+* :class:`CircuitBreaker` — per-worker-slot quarantine.  A slot that
+  keeps burning its retry budget stops receiving dispatches for a
+  cooldown period (doubling up to a cap), then gets a single half-open
+  probe; one success closes the breaker again.  This keeps a
+  persistently poisonous slot (bad CPU, cgroup OOM loop) from turning
+  every dispatch into a respawn storm while the rest of the pool —
+  down to a single-process planner fallback — keeps answering.
+
+Neither class knows anything about processes or pipes; the pool calls
+``allow``/``record_failure``/``record_success`` around its own
+dispatch machinery.  All time is injected (``clock``) so tests never
+sleep.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Callable, List, Optional
+
+__all__ = ["BackoffPolicy", "CircuitBreaker"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``delay(slot, attempt)`` returns the pause (seconds) to take before
+    retry ``attempt`` (0-based) on worker ``slot``:
+
+    ``min(cap, base * 2**attempt) * (1 + jitter)``
+
+    where ``jitter`` is in ``[0, jitter_frac)`` and derived from
+    ``crc32((slot, attempt))`` — no RNG state, no wall-clock input, so
+    the exact same schedule replays under a fixed fault plan.  The
+    first attempt (``attempt == 0``) is free: a crashed worker was
+    already respawned, and an immediate first retry is what keeps the
+    p99 of a transient crash episode low.
+    """
+
+    __slots__ = ("base_s", "cap_s", "jitter_frac")
+
+    def __init__(
+        self,
+        base_s: float = 0.02,
+        cap_s: float = 0.5,
+        jitter_frac: float = 0.25,
+    ) -> None:
+        if base_s < 0 or cap_s < 0:
+            raise ValueError("backoff base_s and cap_s must be >= 0")
+        if not 0 <= jitter_frac <= 1:
+            raise ValueError(f"jitter_frac must be in [0, 1], got {jitter_frac}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.jitter_frac = jitter_frac
+
+    def delay(self, slot: int, attempt: int) -> float:
+        if attempt <= 0:
+            return 0.0
+        raw = min(self.cap_s, self.base_s * (2 ** (attempt - 1)))
+        seed = zlib.crc32(f"{slot}:{attempt}".encode())
+        jitter = (seed % 1024) / 1024.0 * self.jitter_frac
+        return raw * (1.0 + jitter)
+
+    def describe(self) -> dict:
+        return {
+            "base_s": self.base_s,
+            "cap_s": self.cap_s,
+            "jitter_frac": self.jitter_frac,
+        }
+
+
+class CircuitBreaker:
+    """Per-slot failure counter with quarantine + half-open probes.
+
+    States per slot:
+
+    * **closed** — dispatches allowed; ``failures`` consecutive
+      failures recorded.  Reaching ``threshold`` opens the breaker.
+    * **open** — dispatches refused until ``cooldown`` elapses.  Each
+      re-open doubles the cooldown up to ``cooldown_cap_s``.
+    * **half-open** — after cooldown, exactly one dispatch is allowed
+      as a probe.  Success closes the breaker (counters reset);
+      failure re-opens it with the doubled cooldown.
+
+    ``threshold`` counts *consecutive* failures: any success resets the
+    count, so a sub-batch that merely burns its retry budget once (two
+    failures under the default ``max_retries=1``) never trips a
+    breaker with the default threshold of 5.
+    """
+
+    __slots__ = (
+        "slots",
+        "threshold",
+        "cooldown_s",
+        "cooldown_cap_s",
+        "_clock",
+        "_failures",
+        "_state",
+        "_open_until",
+        "_cooldown",
+        "_trips",
+    )
+
+    def __init__(
+        self,
+        slots: int,
+        *,
+        threshold: int = 5,
+        cooldown_s: float = 1.0,
+        cooldown_cap_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if cooldown_s < 0 or cooldown_cap_s < cooldown_s:
+            raise ValueError(
+                f"need 0 <= cooldown_s <= cooldown_cap_s, got "
+                f"{cooldown_s}/{cooldown_cap_s}"
+            )
+        self.slots = slots
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.cooldown_cap_s = cooldown_cap_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._failures = [0] * slots
+        self._state = ["closed"] * slots
+        self._open_until = [0.0] * slots
+        self._cooldown = [cooldown_s] * slots
+        self._trips = [0] * slots
+
+    # ------------------------------------------------------------------
+    def allow(self, slot: int) -> bool:
+        """May ``slot`` receive a dispatch right now?
+
+        Open breakers transition to half-open (and return True — the
+        probe) once their cooldown has elapsed.
+        """
+        state = self._state[slot]
+        if state == "closed":
+            return True
+        if state == "half-open":
+            return True
+        if self._clock() >= self._open_until[slot]:
+            self._state[slot] = "half-open"
+            return True
+        return False
+
+    def record_success(self, slot: int) -> None:
+        self._failures[slot] = 0
+        self._state[slot] = "closed"
+        self._cooldown[slot] = self.cooldown_s
+
+    def record_failure(self, slot: int) -> None:
+        if self._state[slot] == "half-open":
+            self._reopen(slot)
+            return
+        self._failures[slot] += 1
+        if self._failures[slot] >= self.threshold:
+            self._reopen(slot)
+
+    def _reopen(self, slot: int) -> None:
+        self._state[slot] = "open"
+        self._trips[slot] += 1
+        self._open_until[slot] = self._clock() + self._cooldown[slot]
+        self._cooldown[slot] = min(
+            self.cooldown_cap_s, self._cooldown[slot] * 2.0
+        )
+        self._failures[slot] = 0
+
+    # ------------------------------------------------------------------
+    def open_slots(self) -> List[int]:
+        """Slots currently refusing dispatches (cooldown not elapsed)."""
+        return [s for s in range(self.slots) if not self.allow(s)]
+
+    def snapshot(self) -> List[dict]:
+        now = self._clock()
+        out = []
+        for s in range(self.slots):
+            out.append(
+                {
+                    "state": self._state[s],
+                    "consecutive_failures": self._failures[s],
+                    "trips": self._trips[s],
+                    "cooldown_s": self._cooldown[s],
+                    "open_for_s": round(max(0.0, self._open_until[s] - now), 6)
+                    if self._state[s] == "open"
+                    else 0.0,
+                }
+            )
+        return out

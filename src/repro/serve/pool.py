@@ -68,9 +68,11 @@ import multiprocessing
 import os
 import pickle
 import time
+import zlib
 from array import array
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import backend
 from ..baselines.base import (
@@ -80,18 +82,24 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
+from . import faults as _faults
+from .health import BackoffPolicy, CircuitBreaker
 
 __all__ = [
     "CrashRequest",
+    "HedgeMismatch",
+    "ReplyCorrupted",
     "WorkerCrashed",
     "WorkerHandle",
     "WorkerPool",
+    "WorkerStalled",
     "build_worker_handles",
 ]
 
 #: Exit code a worker uses for the deliberate test-hook crash, so a
-#: CrashRequest death is distinguishable from a real fault in CI logs.
-_CRASH_EXIT_CODE = 86
+#: CrashRequest (or scripted ``kill`` fault) death is distinguishable
+#: from a real fault in CI logs.
+_CRASH_EXIT_CODE = _faults.CRASH_EXIT_CODE
 
 #: Default shared-memory result-lane size per worker.  Replies are one
 #: float64 per answered (s, t) pair, so 1 MiB covers a 128k-pair
@@ -164,6 +172,25 @@ def _attach_lane(cfg: dict):
 class WorkerCrashed(RuntimeError):
     """A worker process died; raised (or returned per-request) after the
     respawn-and-retry budget is exhausted."""
+
+
+class WorkerStalled(WorkerCrashed):
+    """A worker is alive but sent no reply within the recv watchdog —
+    SIGSTOP, a lock wedge, an endless loop.  Subclasses
+    :class:`WorkerCrashed` so every existing crash handler (retry,
+    breaker, Server's per-future failure mapping) applies unchanged."""
+
+
+class ReplyCorrupted(WorkerCrashed):
+    """A reply payload failed its CRC32 check (torn shared-memory
+    write, truncated frame).  Handled like a crash: the sub-batch is
+    retried on a respawned worker rather than unpacked into garbage."""
+
+
+class HedgeMismatch(WorkerCrashed):
+    """A hedged duplicate of a sub-batch returned different bytes than
+    the first answer.  Replicas must be bit-identical, so this is
+    never retried — it means nondeterminism, not a transient fault."""
 
 
 class CrashRequest(Request):
@@ -351,18 +378,41 @@ def _worker_main(conn, spec: dict) -> None:
             pass
 
 
+def _recv_command(conn, poll_s: float = 1.0):
+    """Worker-side command wait: a bounded poll loop with an orphan check.
+
+    Under the ``fork`` context sibling workers inherit each other's
+    parent-side pipe ends, so a SIGKILLed parent never delivers EOF to
+    its workers — a plain ``conn.recv()`` would leave orphans running
+    forever.  Polling with a short timeout and re-checking ``getppid``
+    turns parent death into a clean ``EOFError`` exit within
+    ``poll_s`` seconds.
+    """
+    ppid = os.getppid()
+    while True:
+        if conn.poll(poll_s):
+            return conn.recv()
+        if os.getppid() != ppid:
+            raise EOFError("parent process is gone; worker exiting")
+
+
 def _serve_loop(conn, planner, lane=None, lane_size: int = 0) -> None:
     wpos = 0  # ring write head; single live reply, so wrap is just reset
     while True:
-        msg = conn.recv()
+        msg = _recv_command(conn)
         op = msg[0]
         if op == "stop":
             conn.send(("bye",))
             return
         if op == "batch":
             requests = msg[1]
+            # Scripted fault for this sub-batch, if the dispatcher runs
+            # under a FaultPlan; production batches are plain 2-tuples.
+            fault = msg[2] if len(msg) > 2 else None
             if any(isinstance(r, CrashRequest) for r in requests):
                 os._exit(_CRASH_EXIT_CODE)  # test hook: die mid-batch
+            if fault is not None:
+                _faults.apply_pre(fault)  # kill dies here, stall sleeps
             t0 = time.perf_counter()
             try:
                 results = planner.execute(requests)
@@ -371,15 +421,22 @@ def _serve_loop(conn, planner, lane=None, lane_size: int = 0) -> None:
                 continue
             busy = time.perf_counter() - t0
             blob = _pack_results(requests, results)
-            if lane is not None and len(blob) <= lane_size:
-                if wpos + len(blob) > lane_size:
+            # CRC over the clean payload travels in the control frame;
+            # reply faults damage only what gets written/sent after it,
+            # exactly like a torn write under a real fault.
+            crc = zlib.crc32(blob)
+            payload = blob
+            if fault is not None:
+                payload = _faults.apply_reply(fault, blob)
+            if lane is not None and len(payload) <= lane_size:
+                if wpos + len(payload) > lane_size:
                     wpos = 0
-                lane.buf[wpos : wpos + len(blob)] = blob
-                conn.send(("okl", wpos, len(blob), busy))
+                lane.buf[wpos : wpos + len(payload)] = payload
+                conn.send(("okl", wpos, len(payload), crc, busy))
                 # keep the next write 8-aligned for the f64 cast
-                wpos = (wpos + len(blob) + 7) & ~7
+                wpos = (wpos + len(payload) + 7) & ~7
             else:  # no lane, or an oversized reply: the pipe fallback
-                conn.send(("ok", blob, busy))
+                conn.send(("ok", payload, crc, busy))
         elif op == "stats":
             conn.send(("ok", planner.stats()))
         else:
@@ -402,7 +459,7 @@ def _build_loop(conn, spec: dict) -> None:
     bwd: List[Optional[list]] = [None] * n
     ws = SearchWorkspace(n)
     while True:
-        msg = conn.recv()
+        msg = _recv_command(conn)
         op = msg[0]
         if op == "stop":
             conn.send(("bye",))
@@ -444,6 +501,13 @@ def _default_context_name() -> str:
 #: already-handled WorkerCrashed path.  (``mp_context="spawn"`` avoids
 #: fork-with-threads entirely, at the cost of re-importing per spawn.)
 _BOOT_TIMEOUT_S = 120.0
+
+#: Default recv watchdog when the caller passes no explicit timeout.
+#: Generous — it backstops the parallel *build* loop, whose bands on a
+#: loaded box legitimately take a while — but finite, so no caller of
+#: :meth:`WorkerHandle.recv` can ever wait on a pipe unboundedly.  The
+#: serving pool overrides it per dispatch with ``recv_timeout_s``.
+_RECV_TIMEOUT_S = 600.0
 
 
 class WorkerHandle:
@@ -505,6 +569,10 @@ class WorkerHandle:
         return self.process.pid if self.process is not None else None
 
     def send(self, message) -> None:
+        if self.conn is None:
+            raise WorkerCrashed(
+                "worker handle has no live process (send after discard)"
+            )
         try:
             self.conn.send(message)
         except (BrokenPipeError, OSError) as exc:
@@ -512,9 +580,27 @@ class WorkerHandle:
                 f"worker pid {self.pid} is gone (send failed: {exc})"
             ) from None
 
-    def recv(self):
-        """One reply; remote errors re-raise, dead pipes -> WorkerCrashed."""
+    def recv(self, timeout: Optional[float] = None):
+        """One reply, bounded by a watchdog; never an unbounded pipe wait.
+
+        Remote errors re-raise, dead pipes raise :class:`WorkerCrashed`,
+        and a worker that sends nothing within ``timeout`` seconds
+        (default :data:`_RECV_TIMEOUT_S`) raises :class:`WorkerStalled`
+        — the stuck-but-alive case (SIGSTOP, wedged lock) that EOF
+        detection can never see.
+        """
+        if self.conn is None:
+            raise WorkerCrashed(
+                "worker handle has no live process (recv after discard)"
+            )
+        limit = _RECV_TIMEOUT_S if timeout is None else timeout
         try:
+            if not self.conn.poll(limit):
+                alive = self.process.is_alive() if self.process else False
+                raise WorkerStalled(
+                    f"worker pid {self.pid} sent no reply within "
+                    f"{limit:.1f}s (process alive={alive})"
+                )
             reply = self.conn.recv()
         except (EOFError, OSError):
             raise WorkerCrashed(
@@ -525,9 +611,9 @@ class WorkerHandle:
             raise reply[1]
         return reply
 
-    def call(self, message):
+    def call(self, message, timeout: Optional[float] = None):
         self.send(message)
-        return self.recv()
+        return self.recv(timeout)
 
     def respawn(self) -> None:
         """Discard the (dead or wedged) process and boot a replacement."""
@@ -539,18 +625,25 @@ class WorkerHandle:
         if self.conn is not None:
             self.conn.close()
             self.conn = None
-        if self.process is not None:
-            if self.process.is_alive():
-                self.process.terminate()
-            self.process.join(timeout=5)
+        proc = self.process
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+                if proc.is_alive():
+                    # SIGTERM cannot land on a SIGSTOPped process and a
+                    # wedged handler may ignore it; SIGKILL reaps both.
+                    proc.kill()
+            proc.join(timeout=5)
             self.process = None
 
     def close(self) -> None:
-        """Polite shutdown; falls back to terminate on any pipe trouble."""
+        """Polite bounded shutdown; falls back to terminate/kill."""
         if self.conn is not None:
             try:
                 self.conn.send(("stop",))
-                self.conn.recv()  # ("bye",)
+                if self.conn.poll(5.0):
+                    self.conn.recv()  # ("bye",)
             except (BrokenPipeError, EOFError, OSError):
                 pass
         self._discard()
@@ -612,6 +705,42 @@ class WorkerPool:
     max_retries:
         How many times a crashed sub-batch is retried on a fresh worker
         before its requests are failed with :class:`WorkerCrashed`.
+        Retries pause per :class:`~repro.serve.health.BackoffPolicy`
+        (capped exponential, deterministic jitter; first retry free).
+    recv_timeout_s:
+        Per-dispatch watchdog on every worker reply.  A worker that
+        sends nothing within this budget — dead *or* stuck-but-alive —
+        fails its sub-batch with :class:`WorkerStalled` and is
+        force-respawned; no dispatch ever waits on a pipe unboundedly.
+    hedge_after_s:
+        If set, a sub-batch whose reply has not arrived after this many
+        seconds is *hedged*: re-dispatched to an idle worker,
+        first-answer-wins, and when both answer their bytes are
+        asserted identical (:class:`HedgeMismatch` otherwise).  Default
+        ``None`` (off) — hedging doubles work on stragglers, a
+        tail-latency trade the operator must opt into.
+    hedge_grace_s:
+        After the race is won, how long the losing duplicate may stay
+        in flight before its worker is force-respawned (default 1.0s).
+        The dispatch that won does *not* wait: the loser's slot simply
+        sits out subsequent dispatches until its duplicate reply is
+        drained — and bit-compared against the winner — by the next
+        ``execute``'s sweep, or until the grace expires.
+    backoff:
+        The retry pacing policy (default
+        ``BackoffPolicy(base_s=0.02, cap_s=0.5)``).
+    breaker:
+        Per-worker :class:`~repro.serve.health.CircuitBreaker`
+        (default: threshold 5, cooldown 1s doubling to 30s).  A slot
+        whose failures keep burning the retry budget is quarantined;
+        dispatches degrade group-preservingly onto the remaining
+        workers, down to a documented single-process planner fallback
+        when every slot is open (see README "Resilience").
+    fault_plan:
+        Test hook: a :class:`~repro.serve.faults.FaultPlan` scripting
+        worker faults by (dispatch, slot).  Production pools pass
+        ``None`` and every injection site is behind an ``is None``
+        fast path.
     mmap:
         For path bundles: mmap the file (default) instead of reading it.
     reply_transport:
@@ -643,6 +772,12 @@ class WorkerPool:
         mmap: bool = True,
         reply_transport: str = "auto",
         lane_bytes: int = _LANE_BYTES_DEFAULT,
+        recv_timeout_s: float = 30.0,
+        hedge_after_s: Optional[float] = None,
+        hedge_grace_s: float = 1.0,
+        backoff: Optional[BackoffPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_plan=None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -655,10 +790,30 @@ class WorkerPool:
             )
         if lane_bytes <= 0:
             raise ValueError(f"lane_bytes must be positive, got {lane_bytes}")
+        if recv_timeout_s <= 0:
+            raise ValueError(
+                f"recv_timeout_s must be positive, got {recv_timeout_s}"
+            )
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ValueError(
+                f"hedge_after_s must be positive or None, got {hedge_after_s}"
+            )
+        if hedge_grace_s < 0:
+            raise ValueError(
+                f"hedge_grace_s must be >= 0, got {hedge_grace_s}"
+            )
         if cache is True:
             cache = DistanceCache()
         self.cache = cache
         self.max_retries = max_retries
+        self.recv_timeout_s = recv_timeout_s
+        self.hedge_after_s = hedge_after_s
+        self.hedge_grace_s = hedge_grace_s
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
+        self._breaker = (
+            breaker if breaker is not None else CircuitBreaker(workers)
+        )
+        self._fault_plan = fault_plan
         spec: Dict[str, object] = {
             "role": "serve",
             "backend": backend_name or backend.active(),
@@ -680,6 +835,8 @@ class WorkerPool:
                 "bundle must be a path, bytes, or an index object; got "
                 f"{type(bundle).__name__!r}"
             )
+        #: Base worker spec, kept for the all-quarantined planner fallback.
+        self._spec = spec
         ctx = multiprocessing.get_context(mp_context or _default_context_name())
         # Shared-memory reply lanes: one per worker, recorded in a
         # per-handle copy of the spec so a respawned worker re-attaches
@@ -732,6 +889,20 @@ class WorkerPool:
             {"batches": 0, "requests": 0, "pairs": 0, "busy_s": 0.0}
             for _ in self._handles
         ]
+        # Resilience counters (see stats()["resilience"]).
+        self._watchdog_timeouts = 0
+        self._retry_attempts = 0
+        self._crc_failures = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._hedge_parity = 0
+        self._hedge_mismatches = 0
+        self._quarantine_skips = 0
+        self._fallback_batches = 0
+        self._fb_planner = None  # lazy single-process degraded mode
+        #: slot -> (winner_bytes, since): hedge losers still in flight,
+        #: drained (and bit-compared) by _sweep_hedge_losers.
+        self._hedge_pending: Dict[int, Tuple[bytes, float]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -748,25 +919,52 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def _reply_payload(self, w: int, reply) -> Tuple[object, float]:
-        """``(blob, busy_s)`` from either reply form, with byte accounting.
+        """``(blob, busy_s)`` from either reply form, with byte accounting
+        and CRC verification.
 
-        ``("okl", offset, nbytes, busy)`` control frames resolve to a
-        zero-copy window over worker ``w``'s lane (only the ~60-byte
+        ``("okl", offset, nbytes, crc, busy)`` control frames resolve to
+        a zero-copy window over worker ``w``'s lane (only the ~60-byte
         pickled frame crossed the pipe — that is what gets charged to
-        ``pipe_bytes``); ``("ok", blob, busy)`` replies charge the full
-        packed payload, and count as oversized when a lane existed but
-        the reply did not fit it.
+        ``pipe_bytes``); ``("ok", blob, crc, busy)`` replies charge the
+        full packed payload, and count as oversized when a lane existed
+        but the reply did not fit it.  Either way the payload's CRC32
+        must match the one the worker computed before writing — a torn
+        lane write or truncated frame raises :class:`ReplyCorrupted`
+        (retried like a crash) instead of unpacking garbage floats.
         """
         if reply[0] == "okl":
-            _, offset, nbytes, busy = reply
+            _, offset, nbytes, crc, busy = reply
+            view = self._lanes[w].view(offset, nbytes)
+            if zlib.crc32(view) != crc:
+                self._crc_failures += 1
+                # Release before raising: the traceback would otherwise
+                # keep this frame (and the exported view) alive in the
+                # caller's typed-failure result.
+                view.release()
+                raise ReplyCorrupted(
+                    f"worker {w} lane reply failed CRC32 "
+                    f"({nbytes} bytes at ring offset {offset})"
+                )
             self._reply_pipe_bytes += len(pickle.dumps(reply))
             self._reply_shm_bytes += nbytes
-            return self._lanes[w].view(offset, nbytes), busy
-        blob = reply[1]
+            return view, busy
+        _, blob, crc, busy = reply
+        if zlib.crc32(blob) != crc:
+            self._crc_failures += 1
+            raise ReplyCorrupted(
+                f"worker {w} pipe reply failed CRC32 ({len(blob)} bytes)"
+            )
         self._reply_pipe_bytes += len(blob)
         if self._lanes[w] is not None:
             self._oversized_replies += 1
-        return blob, reply[2]
+        return blob, busy
+
+    def _reply_blob(self, w: int, reply) -> bytes:
+        """Raw payload bytes of a reply (hedge parity peek; no accounting)."""
+        if reply[0] == "okl":
+            _, offset, nbytes, _crc, _busy = reply
+            return bytes(self._lanes[w].view(offset, nbytes))
+        return bytes(reply[1])
 
     # ------------------------------------------------------------------
     def execute(
@@ -806,59 +1004,105 @@ class WorkerPool:
                         done[i] = True
 
         pending = [(i, r) for i, r in enumerate(requests) if not done[i]]
-        plan = plan_split(pending, len(self._handles))
 
-        # Phase 1: send every sub-batch (workers start computing in
-        # parallel); a send that hits a dead pipe is deferred to the
-        # recv phase's retry path so it cannot stall the other workers.
-        dispatched: List[Tuple[int, List[Tuple[int, Request]], bool]] = []
-        for w, sub in enumerate(plan):
-            if not sub:
-                continue
-            reqs = [r for _, r in sub]
-            try:
-                self._handles[w].send(("batch", reqs))
-                sent = True
-            except WorkerCrashed:
-                sent = False
-            dispatched.append((w, sub, sent))
+        # Resolve hedge losers from earlier dispatches first: a slot
+        # whose duplicate reply is still in flight must not be sent new
+        # work (its pipe would desync), so it sits out this round.
+        if self._hedge_pending:
+            self._sweep_hedge_losers()
 
-        # Phase 2: collect replies in dispatch order, retrying crashed
-        # sub-batches synchronously on respawned workers.  Every
-        # dispatched sub-batch is resolved here — success, remote
-        # error, or WorkerCrashed — so no reply is ever left in a pipe.
-        pair_loads = []
+        # Circuit breaker: quarantined slots receive no dispatches this
+        # round.  The split stays group-preserving over the survivors,
+        # so answers stay bit-identical — only the balance degrades.
+        live = []
+        for s in range(len(self._handles)):
+            if s in self._hedge_pending:
+                continue  # draining, not quarantined: no breaker skip
+            if self._breaker.allow(s):
+                live.append(s)
+            else:
+                self._quarantine_skips += 1
+        dispatch_id = self._dispatches
+        pair_loads: List[int] = []
         first_error: Optional[BaseException] = None
-        for w, sub, sent in dispatched:
-            reqs = [r for _, r in sub]
+
+        if pending and not live:
+            # Every slot is open: degraded single-process mode.  The
+            # dispatcher runs the batch through its own planner replica
+            # — same bundle, same planner contract, bit-identical
+            # answers, no parallelism.
+            self._fallback_batches += 1
             outcome: object
             try:
-                if not sent:
-                    reply = self._retry_sub(w, reqs)
-                else:
-                    try:
-                        reply = self._handles[w].recv()
-                    except WorkerCrashed:
-                        reply = self._retry_sub(w, reqs)
-                blob, busy_s = self._reply_payload(w, reply)
-                sub_results = _unpack_results(reqs, blob)
-                del blob  # release the lane window before the next send
-                stats = self._wstats[w]
-                stats["batches"] += 1
-                stats["requests"] += len(reqs)
-                pairs = sum(_request_pairs(r) for r in reqs)
-                stats["pairs"] += pairs
-                stats["busy_s"] += busy_s
-                pair_loads.append(pairs)
-                for (i, _), value in zip(sub, sub_results):
+                fb_results = self._fallback_execute([r for _, r in pending])
+            except Exception as exc:
+                for i, _ in pending:
+                    results[i] = exc
+                first_error = exc
+            else:
+                for (i, _), value in zip(pending, fb_results):
                     results[i] = value
-                continue
-            except Exception as exc:  # WorkerCrashed or remote error
-                outcome = exc
-            for i, _ in sub:
-                results[i] = outcome
-            if first_error is None:
-                first_error = outcome
+            dispatched = []
+        else:
+            plan = plan_split(pending, len(live)) if pending else []
+
+            # Phase 1: send every sub-batch (workers start computing in
+            # parallel); a send that hits a dead pipe is deferred to the
+            # recv phase's retry path so it cannot stall the other
+            # workers.  Under a FaultPlan the scripted action for
+            # (dispatch, slot) rides inside the batch message.
+            dispatched = []
+            busy_slots: Set[int] = set()
+            for j, sub in enumerate(plan):
+                if not sub:
+                    continue
+                slot = live[j]
+                reqs = [r for _, r in sub]
+                msg: tuple = ("batch", reqs)
+                if self._fault_plan is not None:
+                    fault = self._fault_plan.take(dispatch_id, slot)
+                    if fault is not None:
+                        msg = ("batch", reqs, fault)
+                try:
+                    self._handles[slot].send(msg)
+                    sent = True
+                except WorkerCrashed:
+                    sent = False
+                dispatched.append((slot, sub, sent))
+                busy_slots.add(slot)
+
+            # Phase 2: collect replies in dispatch order under the recv
+            # watchdog, hedging stragglers and retrying failed
+            # sub-batches on respawned workers with backoff.  Every
+            # dispatched sub-batch is resolved here — success, remote
+            # error, or a typed WorkerCrashed subclass — so no reply is
+            # ever left in a pipe and nothing waits unboundedly.
+            for slot, sub, sent in dispatched:
+                reqs = [r for _, r in sub]
+                try:
+                    blob, busy_s, aslot = self._collect_sub(
+                        slot, reqs, sent, busy_slots
+                    )
+                    busy_slots.discard(slot)
+                    sub_results = _unpack_results(reqs, blob)
+                    del blob  # release the lane window before the next send
+                    stats = self._wstats[aslot]
+                    stats["batches"] += 1
+                    stats["requests"] += len(reqs)
+                    pairs = sum(_request_pairs(r) for r in reqs)
+                    stats["pairs"] += pairs
+                    stats["busy_s"] += busy_s
+                    pair_loads.append(pairs)
+                    for (i, _), value in zip(sub, sub_results):
+                        results[i] = value
+                    continue
+                except Exception as exc:  # typed failure or remote error
+                    busy_slots.discard(slot)
+                    outcome = exc
+                for i, _ in sub:
+                    results[i] = outcome
+                if first_error is None:
+                    first_error = outcome
 
         self._dispatches += 1
         if len(pair_loads) > 1:
@@ -882,26 +1126,242 @@ class WorkerPool:
             raise first_error
         return results
 
-    def _retry_sub(self, w: int, reqs: List[Request]):
-        """Respawn worker ``w`` and re-run its sub-batch, bounded.
+    def _collect_sub(
+        self, slot: int, reqs: List[Request], sent: bool, busy_slots: Set[int]
+    ) -> Tuple[object, float, int]:
+        """Resolve one dispatched sub-batch to ``(payload, busy_s, slot)``.
 
-        Always leaves slot ``w`` holding a *live* worker — even on the
-        giving-up path — so one poisonous sub-batch cannot shrink the
-        pool.
+        The happy path is a watchdog-bounded (possibly hedged) recv plus
+        CRC verification; any :class:`WorkerCrashed` flavour — death,
+        stall, corrupted reply — is recorded against the slot's breaker
+        and falls through to the backoff retry loop.  Only
+        :class:`HedgeMismatch` is terminal: divergent replicas mean
+        nondeterminism, which no retry can repair.
         """
-        handle = self._handles[w]
-        for _ in range(self.max_retries):
+        if sent:
+            try:
+                reply, aslot = self._await_reply(slot, reqs, busy_slots)
+                blob, busy_s = self._reply_payload(aslot, reply)
+                self._breaker.record_success(slot)
+                return blob, busy_s, aslot
+            except HedgeMismatch:
+                raise
+            except WorkerCrashed as exc:
+                self._note_fault(slot, exc)
+                cause: Optional[WorkerCrashed] = exc
+        else:
+            cause = None
+        blob, busy_s = self._retry_sub(slot, reqs, cause=cause)
+        # Break the frame <-> traceback cycle: ``cause``'s traceback
+        # references this frame, which now holds a live lane view in
+        # ``blob`` — left to the cyclic GC, that view would keep the
+        # lane's buffer exported past pool.close().
+        del cause
+        self._breaker.record_success(slot)
+        return blob, busy_s, slot
+
+    def _note_fault(self, slot: int, exc: BaseException) -> None:
+        self._breaker.record_failure(slot)
+        if isinstance(exc, WorkerStalled):
+            self._watchdog_timeouts += 1
+
+    def _await_reply(
+        self, slot: int, reqs: List[Request], busy_slots: Set[int]
+    ):
+        """First reply for ``slot``'s sub-batch, under the watchdog.
+
+        Without hedging this is a plain bounded recv.  With
+        ``hedge_after_s`` set, a straggling sub-batch is re-dispatched
+        to an idle worker and the first answer wins (the original wins
+        ties, keeping the common case deterministic); the loser is
+        drained and bit-parity asserted, or force-respawned if still
+        busy after the grace window.  Returns ``(reply,
+        answering_slot)`` so lane windows resolve against the worker
+        that actually answered.
+        """
+        h = self._handles[slot]
+        if self.hedge_after_s is None or h.conn is None:
+            return h.recv(self.recv_timeout_s), slot
+        if h.conn.poll(min(self.hedge_after_s, self.recv_timeout_s)):
+            return h.recv(self.recv_timeout_s), slot
+        remaining = max(0.001, self.recv_timeout_s - self.hedge_after_s)
+        hslot = self._pick_idle(slot, busy_slots)
+        if hslot is None:  # no spare capacity: just keep waiting
+            return h.recv(remaining), slot
+        hh = self._handles[hslot]
+        self._hedges += 1
+        try:
+            hh.send(("batch", reqs))
+        except WorkerCrashed:
+            return h.recv(remaining), slot
+        deadline = time.monotonic() + remaining
+        contenders = {slot: h, hslot: hh}
+        while contenders:
+            budget = deadline - time.monotonic()
+            if budget <= 0.0:
+                break
+            ready = _conn_wait(
+                [ch.conn for ch in contenders.values()], timeout=budget
+            )
+            if not ready:
+                break
+            if slot in contenders and contenders[slot].conn in ready:
+                cand = slot
+            else:
+                cand = next(
+                    s for s, ch in contenders.items() if ch.conn in ready
+                )
+            ch = contenders.pop(cand)
+            try:
+                reply = ch.recv(1.0)
+            except WorkerCrashed:
+                ch.respawn()  # the slot must come back live either way
+                if not contenders:
+                    raise
+                continue  # keep waiting on the survivor
+            except BaseException:
+                # A remote planner error: resolve every other in-flight
+                # duplicate before propagating so no pipe desyncs.
+                for other in contenders.values():
+                    other.respawn()
+                raise
+            if cand == hslot:
+                self._hedge_wins += 1
+            if contenders:
+                # First answer wins *now*: the loser's duplicate is left
+                # in flight and resolved by a later sweep, so the client
+                # never waits for the straggler it was hedged against.
+                winner_blob = self._reply_blob(cand, reply)
+                since = time.monotonic()
+                for other in contenders:
+                    self._hedge_pending[other] = (winner_blob, since)
+            return reply, cand
+        # Deadline expired with no winner: both sides straggled.  The
+        # hedge is respawned here (a late duplicate reply would desync
+        # its pipe); the original goes through the caller's retry path.
+        if hslot in contenders:
+            hh.respawn()
+        raise WorkerStalled(
+            f"worker pid {h.pid} (and its hedge) sent no reply within "
+            f"{self.recv_timeout_s:.1f}s"
+        )
+
+    def _pick_idle(self, slot: int, busy_slots: Set[int]) -> Optional[int]:
+        """Lowest live, breaker-allowed slot with no in-flight dispatch."""
+        for s in range(len(self._handles)):
+            if s == slot or s in busy_slots or s in self._hedge_pending:
+                continue
+            if self._handles[s].conn is None:
+                continue
+            if not self._breaker.allow(s):
+                continue
+            return s
+        return None
+
+    def _sweep_hedge_losers(self) -> None:
+        """Drain (and parity-check) or dispose of losing hedge duplicates.
+
+        A loser's reply must leave its pipe before the slot can be
+        dispatched to again, but the dispatch that won never waits for
+        it: the slot sits out rounds until this sweep (run at the top
+        of every ``execute``) finds the duplicate ready.  A drained
+        duplicate is asserted bit-identical to the winner — the
+        cheapest end-to-end exactness check the tier has; a loser
+        still busy past the grace window (or dead) is force-respawned
+        instead, which clears the pipe just as surely.
+        """
+        now = time.monotonic()
+        for slot in list(self._hedge_pending):
+            winner_blob, since = self._hedge_pending[slot]
+            h = self._handles[slot]
+            try:
+                if h.conn is None or not h.conn.poll(0):
+                    if now - since > self.hedge_grace_s:
+                        del self._hedge_pending[slot]
+                        h.respawn()
+                    continue
+                reply = h.recv(1.0)
+            except WorkerCrashed:
+                del self._hedge_pending[slot]
+                h.respawn()
+                continue
+            except BaseException:
+                del self._hedge_pending[slot]
+                continue  # remote error from the duplicate; frame drained
+            del self._hedge_pending[slot]
+            loser_blob = self._reply_blob(slot, reply)
+            self._hedge_parity += 1
+            if loser_blob != winner_blob:
+                self._hedge_mismatches += 1
+                raise HedgeMismatch(
+                    f"hedged duplicate returned different bytes "
+                    f"({len(loser_blob)} vs {len(winner_blob)}); replica "
+                    "answers must be bit-identical"
+                )
+
+    def _retry_sub(
+        self,
+        slot: int,
+        reqs: List[Request],
+        cause: Optional[WorkerCrashed] = None,
+    ) -> Tuple[object, float]:
+        """Respawn worker ``slot`` and re-run its sub-batch, bounded.
+
+        Pacing follows the backoff policy (first retry free, then
+        capped exponential with deterministic jitter).  Always leaves
+        the slot holding a *live* worker — even on the giving-up path —
+        so one poisonous sub-batch cannot shrink the pool.  The
+        giving-up error keeps the *type* of the last fault (a stall
+        that exhausts its budget still fails as
+        :class:`WorkerStalled`), so callers see what actually went
+        wrong.
+        """
+        handle = self._handles[slot]
+        for attempt in range(self.max_retries):
+            pause = self._backoff.delay(slot, attempt)
+            if pause > 0.0:
+                time.sleep(pause)
+            self._retry_attempts += 1
             handle.respawn()
             try:
-                return handle.call(("batch", reqs))
-            except WorkerCrashed:
+                handle.send(("batch", reqs))
+                reply = handle.recv(self.recv_timeout_s)
+                return self._reply_payload(slot, reply)
+            except WorkerCrashed as exc:
+                self._note_fault(slot, exc)
+                cause = exc
                 continue
             # a remote ("err", exc) reply propagates to the caller
         handle.respawn()
-        raise WorkerCrashed(
-            f"worker {w} died {self.max_retries + 1}x on the same "
-            f"{len(reqs)}-request sub-batch; requests failed, worker respawned"
-        )
+        kind = type(cause) if isinstance(cause, WorkerCrashed) else WorkerCrashed
+        raise kind(
+            f"worker {slot} failed the same {len(reqs)}-request sub-batch "
+            f"{self.max_retries + 1}x; requests failed, worker respawned"
+        ) from cause
+
+    def _fallback_execute(self, reqs: List[Request]):
+        """Single-process degraded mode: every slot is quarantined.
+
+        Lazily boots one planner replica *in the dispatcher* from the
+        same bundle spec the workers use, so answers stay bit-identical
+        (planner contract) while the breakers cool down.  A torn bundle
+        surfaces as the serializer's typed
+        :class:`~repro.core.serialize.BundleCorrupted` — degraded mode
+        never serves garbage either.
+        """
+        if self._fb_planner is None:
+            from ..baselines.base import QueryPlanner
+            from ..core.serialize import load_bundle
+
+            path = self._spec.get("bundle_path")
+            if path is not None:
+                _, engine = load_bundle(
+                    path, mmap=bool(self._spec.get("mmap", True))
+                )
+            else:
+                _, engine = load_bundle(self._spec["bundle"])
+            self._fb_planner = QueryPlanner(engine)
+        return self._fb_planner.execute(reqs)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -938,6 +1398,31 @@ class WorkerPool:
                 "pipe_bytes": self._reply_pipe_bytes,
                 "shm_bytes": self._reply_shm_bytes,
                 "oversized_replies": self._oversized_replies,
+                "crc_failures": self._crc_failures,
+            },
+            "resilience": {
+                "recv_timeout_s": self.recv_timeout_s,
+                "watchdog_timeouts": self._watchdog_timeouts,
+                "retry": {
+                    "max_retries": self.max_retries,
+                    "attempts": self._retry_attempts,
+                    "backoff": self._backoff.describe(),
+                },
+                "hedge": {
+                    "after_s": self.hedge_after_s,
+                    "grace_s": self.hedge_grace_s,
+                    "hedges": self._hedges,
+                    "wins": self._hedge_wins,
+                    "parity_checks": self._hedge_parity,
+                    "mismatches": self._hedge_mismatches,
+                    "draining": len(self._hedge_pending),
+                },
+                "breaker": {
+                    "threshold": self._breaker.threshold,
+                    "quarantine_skips": self._quarantine_skips,
+                    "fallback_batches": self._fallback_batches,
+                    "per_slot": self._breaker.snapshot(),
+                },
             },
             "dispatches": self._dispatches,
             "mean_dispatch_imbalance": round(

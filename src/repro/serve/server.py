@@ -87,7 +87,7 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
-from .pool import WorkerPool
+from .pool import WorkerPool, WorkerStalled
 
 __all__ = [
     "DeadlineExpired",
@@ -238,6 +238,7 @@ class Server:
         self._rejected = 0
         self._cancelled = 0
         self._worker_failed = 0
+        self._worker_stalled = 0
         self._batches = 0
         self._coalesced = 0
         self._largest_batch = 0
@@ -460,10 +461,13 @@ class Server:
             for item, result in zip(batch, results):
                 if not item.future.done():
                     if isinstance(result, BaseException):
-                        # Pool tier: this request's sub-batch crashed its
-                        # worker past the retry budget; fail it cleanly,
-                        # its batch-mates above/below still complete.
+                        # Pool tier: this request's sub-batch crashed (or
+                        # stalled past the watchdog on) its worker beyond
+                        # the retry budget; fail it cleanly, its
+                        # batch-mates above/below still complete.
                         self._worker_failed += 1
+                        if isinstance(result, WorkerStalled):
+                            self._worker_stalled += 1
                         item.future.set_exception(result)
                     else:
                         self._completed += 1
@@ -519,6 +523,7 @@ class Server:
             "rejected": self._rejected,
             "cancelled": self._cancelled,
             "worker_failed": self._worker_failed,
+            "worker_stalled": self._worker_stalled,
             "batches": self._batches,
             "mean_batch_size": round(mean_batch, 3),
             "largest_batch": self._largest_batch,

@@ -748,6 +748,121 @@ def test_baseline_rejects_malformed_entries(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# recv-timeout-discipline
+# ----------------------------------------------------------------------
+def test_recv_discipline_flags_unbounded_poll():
+    # the untimed poll is flagged, and — because the scope then has no
+    # timed wait at all — so is the bare recv it was meant to guard
+    findings = run(
+        """\
+        def collect(conn):
+            if conn.poll():
+                return conn.recv()
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == [2, 3]
+
+
+def test_recv_discipline_flags_poll_none():
+    findings = run("def f(conn):\n    conn.poll(None)\n", rel=SERVE)
+    assert lines_for(findings, "recv-timeout-discipline") == [2]
+
+
+def test_recv_discipline_flags_bare_recv_without_timed_poll():
+    findings = run(
+        """\
+        def collect(conn):
+            return conn.recv()
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == [2]
+
+
+def test_recv_discipline_accepts_recv_guarded_by_timed_poll():
+    findings = run(
+        """\
+        def collect(conn, timeout):
+            if not conn.poll(timeout):
+                raise TimeoutError
+            return conn.recv()
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == []
+
+
+def test_recv_discipline_flags_untimed_connection_wait():
+    findings = run(
+        """\
+        from multiprocessing.connection import wait as _conn_wait
+
+        def race(conns):
+            return _conn_wait(conns)
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == [4]
+
+
+def test_recv_discipline_accepts_timed_connection_wait():
+    findings = run(
+        """\
+        from multiprocessing.connection import wait as _conn_wait
+
+        def race(conns, budget):
+            return _conn_wait(conns, timeout=budget)
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == []
+
+
+def test_recv_discipline_flags_unguarded_fault_hook():
+    findings = run(
+        """\
+        from . import faults as _faults
+
+        def dispatch(self, msg, fault):
+            _faults.apply_pre(fault)
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == [4]
+
+
+def test_recv_discipline_accepts_none_guarded_fault_hook():
+    findings = run(
+        """\
+        from . import faults as _faults
+
+        def dispatch(self, msg, fault):
+            if fault is not None:
+                _faults.apply_pre(fault)
+            if self._fault_plan is not None:
+                return self._fault_plan.take(0, 1)
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "recv-timeout-discipline") == []
+
+
+def test_recv_discipline_skips_faults_module_and_other_packages():
+    source = "def f(conn):\n    return conn.recv()\n"
+    assert (
+        lines_for(
+            run(source, rel="src/repro/serve/faults.py"),
+            "recv-timeout-discipline",
+        )
+        == []
+    )
+    assert (
+        lines_for(run(source, rel=SRC), "recv-timeout-discipline") == []
+    )
+
+
+# ----------------------------------------------------------------------
 # Registry / --explain plumbing
 # ----------------------------------------------------------------------
 EXPECTED_RULES = [
@@ -756,13 +871,14 @@ EXPECTED_RULES = [
     "bench-honesty",
     "determinism",
     "exact-accumulation",
+    "recv-timeout-discipline",
     "serialize-symmetry",
     "spawn-safety",
     "workspace-discipline",
 ]
 
 
-def test_all_eight_rules_registered():
+def test_all_nine_rules_registered():
     assert [r.id for r in iter_rules()] == EXPECTED_RULES
 
 

@@ -361,8 +361,8 @@ def test_inspect_reports_sections_and_ratio(towns_hl):
     """The hard footprint floor: towns label sections shrink >= 2.5x."""
     flat_secs = inspect_bundle(bundle_bytes(towns_hl, compact=False))
     comp_secs = inspect_bundle(bundle_bytes(towns_hl))
-    assert [s["magic"] for s in flat_secs] == ["GCSR1", "HLIDX1"]
-    assert [s["magic"] for s in comp_secs] == ["GCSR1", "HLIDX2"]
+    assert [s["magic"] for s in flat_secs] == ["GCSR1", "HLIDX1", "BCRC1"]
+    assert [s["magic"] for s in comp_secs] == ["GCSR1", "HLIDX2", "BCRC1"]
     flat_hl = next(s for s in flat_secs if s["magic"] == "HLIDX1")["detail"]
     comp_hl = next(s for s in comp_secs if s["magic"] == "HLIDX2")["detail"]
     assert flat_hl["entries"] == comp_hl["entries"]
@@ -370,14 +370,16 @@ def test_inspect_reports_sections_and_ratio(towns_hl):
     ratio = flat_hl["label_bytes"] / comp_hl["label_bytes"]
     assert ratio >= 2.5, f"label sections shrank only {ratio:.2f}x"
     assert comp_hl["bytes_per_entry"] < flat_hl["bytes_per_entry"] / 2.5
-    # offsets/sizes tile the file exactly
+    # offsets/sizes tile the file exactly (CRC trailer included)
     for secs, blob in (
         (flat_secs, bundle_bytes(towns_hl, compact=False)),
         (comp_secs, bundle_bytes(towns_hl)),
     ):
         assert secs[0]["offset"] == 0
-        assert secs[1]["offset"] == secs[0]["bytes"]
-        assert secs[1]["offset"] + secs[1]["bytes"] == len(blob)
+        for prev, sec in zip(secs, secs[1:]):
+            assert sec["offset"] == prev["offset"] + prev["bytes"]
+        assert secs[-1]["offset"] + secs[-1]["bytes"] == len(blob)
+        assert secs[-1]["detail"]["sections"] == len(secs) - 1
 
 
 def test_inspect_rejects_garbage():
