@@ -32,10 +32,24 @@ bar is a *hard* assertion in every mode (the wall-clock delta stays
 CPU-gated like everything else), and the run verifies that no
 ``/dev/shm`` segment outlives its pool.
 
+PR 9 adds the two symmetric A/Bs:
+
+* **Request transports**: the same workload dispatched once through the
+  shared-memory request rings (packed REQCOL columns + ~60 B control
+  frames) and once over pickled-request pipes.  Request pipe bytes are
+  deterministic, so the >= 10x reduction bar is hard in every mode.
+* **Build pipeline**: ``HubLabelIndex(build_workers=4)`` barrier vs
+  pipelined sync fabric, byte-identity vs the serial build asserted on
+  both before any clock.  Sync bytes (pickled entry broadcasts vs
+  packed LBLCHUNK columns through the shared ring) are deterministic —
+  the >= 5x reduction bar is hard — while the pipelined-not-slower
+  wall-clock check stays CPU-gated.
+
 ``--check`` (CI, both backend legs): 2 workers, small workload, parity
-+ byte-identity + reply-path byte ratio + "every worker actually
-served" only — no timing.  Writes ``BENCH_pool.check.json`` so the
-committed timing record is never clobbered by a CI reproduction.
++ byte-identity + reply/request-path byte ratios + build-pipeline sync
+ratio + "every worker actually served" only — no timing.  Writes
+``BENCH_pool.check.json`` so the committed timing record is never
+clobbered by a CI reproduction.
 """
 
 from __future__ import annotations
@@ -86,15 +100,17 @@ def _single_process_run(hl, scripts):
     return seconds, _served_flat(per_client), stats
 
 
-def _pool_run(blob, scripts, workers, reply_transport="auto"):
+def _pool_run(blob, scripts, workers, reply_transport="auto",
+              request_transport="auto"):
     """One cold-cache pool-served run; fresh pool (fresh shared cache)."""
     pool = WorkerPool(
         blob,
         workers=workers,
         cache=DistanceCache(1 << 16),
         reply_transport=reply_transport,
+        request_transport=request_transport,
     )
-    lanes = [lane.name for lane in pool._lanes if lane is not None]
+    lanes = pool.lane_names()
     try:
         seconds, per_client, stats = run_closed_loop(
             None, scripts, pool=pool
@@ -106,7 +122,7 @@ def _pool_run(blob, scripts, workers, reply_transport="auto"):
 
 
 def _assert_no_leaked_lanes(names):
-    """Every reply-lane segment must be unlinked once its pool closes."""
+    """Every lane segment (reply and request) dies with its pool."""
     from multiprocessing import shared_memory
 
     for name in names:
@@ -115,7 +131,7 @@ def _assert_no_leaked_lanes(names):
         except FileNotFoundError:
             continue
         seg.close()
-        raise AssertionError(f"reply lane {name} outlived its pool")
+        raise AssertionError(f"lane {name} outlived its pool")
 
 
 def bench_reply_path(blob, scripts, reference, requests, workers=POOL_WORKERS):
@@ -156,6 +172,108 @@ def bench_reply_path(blob, scripts, reference, requests, workers=POOL_WORKERS):
         "pipe_vs_shm_reply_pipe_byte_ratio": round(ratio, 1),
         "no_leaked_segments": True,
         "transports": out,
+    }
+
+
+def bench_request_path(blob, scripts, reference, requests, workers=POOL_WORKERS):
+    """Pipe-vs-shm *request* transport A/B — the PR 9 symmetric leg.
+
+    Same contract as :func:`bench_reply_path`, pointed at the dispatch
+    side: request bytes over the pipes (control frames vs pickled
+    ``List[Request]`` batches) are deterministic, so the >= 10x
+    reduction bar is hard in every mode.  Both runs are parity-asserted
+    against the per-query reference first.
+    """
+    out = {}
+    for transport in ("shm", "pipe"):
+        seconds, flat, stats = _pool_run(
+            blob, scripts, workers, request_transport=transport
+        )
+        assert flat == reference, (
+            f"request {transport}: pool served != per-query calls"
+        )
+        rp = stats["pool"]["request_path"]
+        assert rp["transport"] == transport
+        assert rp["crc_failures"] == 0
+        out[transport] = {
+            "seconds": round(seconds, 5),
+            "requests_per_s": round(requests / seconds, 1),
+            "request_pipe_bytes": rp["pipe_bytes"],
+            "request_shm_bytes": rp["shm_bytes"],
+            "oversized_batches": rp["oversized_batches"],
+            "pickled_batches": rp["pickled_batches"],
+        }
+    assert out["shm"]["pickled_batches"] == 0, out  # everything packed
+    ratio = out["pipe"]["request_pipe_bytes"] / max(
+        1, out["shm"]["request_pipe_bytes"]
+    )
+    assert ratio >= 10.0, (
+        f"shm request path moved only {ratio:.1f}x fewer pipe bytes: {out}"
+    )
+    return {
+        "workers": workers,
+        "pipe_vs_shm_request_pipe_byte_ratio": round(ratio, 1),
+        "no_leaked_segments": True,
+        "transports": out,
+    }
+
+
+def bench_build_pipeline(graph, workers=POOL_WORKERS, repeats=BUILD_REPEATS):
+    """Barrier vs pipelined band-build sync fabric, one shared contraction.
+
+    Byte-identity of both builds against the serial bundle gates before
+    any clock.  Sync bytes are deterministic, so the >= 5x total
+    reduction bar (pickled acked entry broadcasts -> packed LBLCHUNK
+    columns through the shared ring) asserts here, hard, in every mode;
+    the wall-clock comparison is recorded always and asserted only by
+    the CPU-gated caller.
+    """
+    res = contract_graph(graph)
+    serial_bytes = bundle_bytes(HubLabelIndex(graph, contraction=res))
+
+    def _one(pipeline):
+        best_s = INF
+        info = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            built = HubLabelIndex(
+                graph,
+                contraction=res,
+                build_workers=workers,
+                build_pipeline=pipeline,
+            )
+            elapsed = time.perf_counter() - t0
+            assert bundle_bytes(built) == serial_bytes, (
+                f"{'pipelined' if pipeline else 'barrier'} build is not "
+                "byte-identical to the serial build"
+            )
+            if elapsed < best_s:
+                best_s, info = elapsed, built.build_info
+        return best_s, info
+
+    barrier_s, barrier_info = _one(False)
+    piped_s, piped_info = _one(True)
+    barrier_total = (
+        barrier_info["sync"]["shm_bytes"] + barrier_info["sync"]["pipe_bytes"]
+    )
+    piped_total = (
+        piped_info["sync"]["shm_bytes"] + piped_info["sync"]["pipe_bytes"]
+    )
+    ratio = barrier_total / max(1, piped_total)
+    assert ratio >= 5.0, (
+        f"packed-column sync moved only {ratio:.1f}x fewer bytes "
+        f"({barrier_total} -> {piped_total})"
+    )
+    return {
+        "workers": workers,
+        "byte_identical": True,
+        "barrier_s": round(barrier_s, 4),
+        "pipelined_s": round(piped_s, 4),
+        "pipelined_vs_barrier_speedup": round(barrier_s / piped_s, 3),
+        "sync_byte_reduction": round(ratio, 1),
+        "barrier_sync": barrier_info["sync"],
+        "pipelined_sync": piped_info["sync"],
+        "overlap_fraction": piped_info["sync"]["overlap_fraction"],
     }
 
 
@@ -286,7 +404,9 @@ def run_benchmark():
                 hl, blob, scripts, reference, requests
             )
     build = bench_build(graph)
+    build_pipeline = bench_build_pipeline(graph)
     reply = bench_reply_path(blob, scripts, reference, requests)
+    request = bench_request_path(blob, scripts, reference, requests)
     headline = {
         "note": "pool = Server over a %d-worker WorkerPool (bundle-booted "
         "replicas, group-preserving dispatch, shared dispatcher cache); "
@@ -299,7 +419,12 @@ def run_benchmark():
         % (POOL_WORKERS, cpus),
         "visible_cpus": cpus,
         "build_parallel_vs_serial": build["parallel_vs_serial_speedup"],
+        "build_sync_byte_reduction": build_pipeline["sync_byte_reduction"],
+        "build_overlap_fraction": build_pipeline["overlap_fraction"],
         "reply_pipe_byte_reduction": reply["pipe_vs_shm_reply_pipe_byte_ratio"],
+        "request_pipe_byte_reduction": request[
+            "pipe_vs_shm_request_pipe_byte_ratio"
+        ],
     }
     for name, rec in backends.items():
         headline[f"{name}_pool_vs_single"] = rec["pool_vs_single_speedup"]
@@ -313,7 +438,9 @@ def run_benchmark():
             "headline": headline,
             "serving": backends,
             "parallel_build": build,
+            "build_pipeline": build_pipeline,
             "reply_path": reply,
+            "request_path": request,
         }
     )
     return result
@@ -358,13 +485,22 @@ def run_check(workers=2):
         "byte_identical": True,
         "bands": parallel.build_info["bands"],
     }
-    # Reply-transport A/B: parity + the hard >= 10x pipe-byte bar
-    # (byte counts are deterministic, so check mode gates it too).
+    # Transport A/Bs: parity + the hard >= 10x pipe-byte bars on both
+    # sides (byte counts are deterministic, so check mode gates them
+    # too), plus the pipelined-build sync fabric with the full 4-worker
+    # count (sync bytes are deterministic as well; timings untouched).
     result["reply_path"] = bench_reply_path(
         blob, scripts, reference, requests, workers=workers
     )
+    result["request_path"] = bench_request_path(
+        blob, scripts, reference, requests, workers=workers
+    )
+    result["build_pipeline"] = bench_build_pipeline(
+        graph, workers=POOL_WORKERS, repeats=1
+    )
     result["mode"] = (
-        "check (parity + structure + reply-path byte ratio; timings omitted)"
+        "check (parity + structure + reply/request-path byte ratios + "
+        "build-pipeline sync ratio; timings omitted)"
     )
     result["serving"] = checks
     return result
@@ -396,16 +532,24 @@ def test_pool_speed():
     for rec in result["serving"].values():
         assert rec["dispatch"]["dispatches"] > 0
         assert all(b > 0 for b in rec["dispatch"]["per_worker_batches"]), rec
-    # PR 6: bytes-moved is hardware-independent — always hard.
+    # PR 6 + PR 9: bytes-moved is hardware-independent — always hard.
     reply = result["reply_path"]
     assert reply["pipe_vs_shm_reply_pipe_byte_ratio"] >= 10.0, reply
     assert reply["no_leaked_segments"]
+    request = result["request_path"]
+    assert request["pipe_vs_shm_request_pipe_byte_ratio"] >= 10.0, request
+    assert request["no_leaked_segments"]
+    pipeline = result["build_pipeline"]
+    assert pipeline["byte_identical"]
+    assert pipeline["sync_byte_reduction"] >= 5.0, pipeline
     if result["visible_cpus"] >= POOL_WORKERS:
         # Deliberately conservative floors (the committed BENCH_pool.json
         # carries the real quiet-machine numbers).
         if backend.HAS_NUMPY:
             assert result["serving"]["numpy"]["pool_vs_single_speedup"] >= 1.5
         assert build["parallel_vs_serial_speedup"] >= 1.3
+        # Overlapping sync with compute must not lose to the barrier.
+        assert pipeline["pipelined_s"] <= pipeline["barrier_s"], pipeline
 
 
 if __name__ == "__main__":

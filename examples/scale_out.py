@@ -103,6 +103,14 @@ def main() -> None:
         print(f"   dispatches={tier['dispatches']}  "
               f"imbalance={tier['mean_dispatch_imbalance']}  "
               f"cache hit rate={tier['cache']['hit_rate']:.2f}")
+        d = tier["dispatch"]
+        print(f"   dispatch breakdown: pack={d['pack_s']:.4f}s "
+              f"send={d['send_s']:.4f}s compute={d['compute_s']:.4f}s "
+              f"merge={d['merge_s']:.4f}s")
+        req = tier["request_path"]
+        print(f"   request path ({req['transport']}): "
+              f"{req['pipe_bytes']} pipe bytes / {req['shm_bytes']} shm "
+              f"bytes ({req['pickled_batches']} pickled batches)")
         for i, w in enumerate(tier["per_worker"]):
             print(f"   worker {i}: pid={w['pid']} batches={w['batches']} "
                   f"requests={w['requests']} busy={w['busy_s']:.3f}s "
@@ -124,9 +132,13 @@ def main() -> None:
     t_par = time.perf_counter() - t0
     assert bundle_bytes(parallel) == bundle_bytes(index)
     info = parallel.build_info
+    sync = info["sync"]
     print(f"   {t_par:.3f}s over {info['bands']} rank bands "
           f"(largest {info['largest_band']} nodes) — "
           f"bundle bytes identical to the serial build")
+    print(f"   pipelined sync: {sync['shm_bytes']} shm bytes / "
+          f"{sync['pipe_bytes']} pipe bytes, "
+          f"overlap fraction {sync['overlap_fraction']:.2f}")
 
 
 if __name__ == "__main__":

@@ -64,6 +64,7 @@ __all__ = [
     "as_float_col",
     "index_col_from_bytes",
     "float_col_from_bytes",
+    "ids_from_bytes",
     "col_bytes",
     "col_sum",
     "np_view_i64",
@@ -260,6 +261,23 @@ def float_col_from_bytes(buf):
     out = array("d")
     out.frombytes(buf)
     return out
+
+
+def ids_from_bytes(buf, width: int):
+    """Node-id list from a little-endian int32/int64 column's raw bytes.
+
+    The worker tier's REQCOL request blocks carry node ids at HLIDX2's
+    width discipline (``width`` is 4 or 8); this decodes one column into
+    **plain Python ints** on both backends (``tolist`` converts numpy
+    scalars), so reconstructed requests hash/group exactly like the
+    originals.  The stdlib path goes through ``frombytes`` for the same
+    memoryview-safety reason as :func:`index_col_from_bytes`.
+    """
+    if use_numpy():
+        return np.frombuffer(buf, dtype=np.int32 if width == 4 else np.int64).tolist()
+    out = array("i" if width == 4 else "q")
+    out.frombytes(buf)
+    return out.tolist()
 
 
 # ----------------------------------------------------------------------

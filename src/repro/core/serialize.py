@@ -130,6 +130,12 @@ from bisect import bisect_left
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
 from .. import backend
+from ..baselines.base import (
+    DistanceRequest,
+    OneToManyRequest,
+    Request,
+    TableRequest,
+)
 from ..baselines.ch import ContractionResult
 from ..baselines.hl import HubLabelIndex
 from ..graph.graph import Graph
@@ -149,6 +155,10 @@ __all__ = [
     "save_bundle",
     "load_bundle",
     "inspect_bundle",
+    "pack_requests",
+    "unpack_requests",
+    "pack_label_entries",
+    "unpack_label_entries",
     "main",
 ]
 
@@ -926,6 +936,243 @@ def _decode_label_side(fh, n: int) -> Tuple:
     else:
         raise ValueError(f"unknown HL2 distance encoding {enc}")
     return head, hub, dist, parent, enc
+
+
+# ----------------------------------------------------------------------
+# Worker-tier column transport (request lanes + build-band sync chunks)
+# ----------------------------------------------------------------------
+# Transient wire formats for repro.serve.pool: same uvarint / width
+# discipline as HL2, but never written to disk — a dispatcher packs a
+# planner sub-batch (or a build worker packs a band's label entries)
+# into one flat block, ships it through a shared-memory lane, and the
+# other side reconstructs exact values.  Pure-Python loops over plain
+# ints/floats keep the bytes identical under both backends.
+
+#: Request kind codes in the REQCOL block (order is part of the format).
+_REQ_DISTANCE, _REQ_ONE_TO_MANY, _REQ_TABLE = 0, 1, 2
+
+#: Label-chunk distance encodings: raw float64, or uvarint when every
+#: distance is a non-negative integral (int -> float64 is exact there).
+_CHUNK_F8, _CHUNK_UV = 0, 1
+
+
+def pack_requests(requests) -> Optional[bytes]:
+    """A planner sub-batch -> one flat REQCOL block (or ``None``).
+
+    Layout (little-endian)::
+
+        u8  width          4 or 8 (HLIDX2's width discipline: int32
+                           columns when every node id fits, else int64)
+        <q  nreq
+        kinds[nreq]        u8: 0 distance, 1 one_to_many, 2 table
+        <q  nmeta; meta    uvarint stream, request order: one_to_many
+                           contributes ``len(targets)``, table
+                           contributes ``len(sources), len(targets)``
+        <q  nids; ids      node-id column (width bytes each), request
+                           order: distance ``s, t``; one_to_many
+                           ``s, targets...``; table ``sources...,
+                           targets...``
+
+    Returns ``None`` when the batch contains anything but the three
+    exact planner request types (e.g. a test-hook ``CrashRequest``) —
+    those sub-batches keep the pickled pipe path, which preserves
+    arbitrary request objects by construction.
+    """
+    kinds = bytearray()
+    meta = bytearray()
+    ids: List[int] = []
+    for req in requests:
+        t = type(req)
+        if t is DistanceRequest:
+            kinds.append(_REQ_DISTANCE)
+            ids.append(req.source)
+            ids.append(req.target)
+        elif t is OneToManyRequest:
+            kinds.append(_REQ_ONE_TO_MANY)
+            _uvarint_append(meta, len(req.targets))
+            ids.append(req.source)
+            ids.extend(req.targets)
+        elif t is TableRequest:
+            kinds.append(_REQ_TABLE)
+            _uvarint_append(meta, len(req.sources))
+            _uvarint_append(meta, len(req.targets))
+            ids.extend(req.sources)
+            ids.extend(req.targets)
+        else:
+            return None
+    width = 4
+    for v in ids:
+        if not 0 <= v <= 0x7FFFFFFF:
+            width = 8
+            break
+    out = bytearray()
+    out.append(width)
+    out += struct.pack("<q", len(kinds))
+    out += kinds
+    out += struct.pack("<q", len(meta))
+    out += meta
+    out += struct.pack("<q", len(ids))
+    out += array("i" if width == 4 else "q", ids).tobytes()
+    return bytes(out)
+
+
+def unpack_requests(blob) -> List[Request]:
+    """REQCOL block -> typed planner requests, exact round-trip.
+
+    The constructors re-coerce every id to a plain Python ``int``, so
+    reconstructed requests group, hash, and execute exactly like the
+    originals — :func:`pack_requests` then this is the identity on the
+    three planner request types.
+    """
+    buf = memoryview(blob)
+    width = buf[0]
+    if width not in (4, 8):
+        raise ValueError(f"bad REQCOL width {width}")
+    pos = 1
+    (nreq,) = struct.unpack_from("<q", buf, pos)
+    pos += 8
+    kinds = bytes(buf[pos : pos + nreq])
+    pos += nreq
+    (nmeta,) = struct.unpack_from("<q", buf, pos)
+    pos += 8
+    counts = _uvarint_decode(buf[pos : pos + nmeta])
+    pos += nmeta
+    (nids,) = struct.unpack_from("<q", buf, pos)
+    pos += 8
+    end = pos + nids * width
+    if end > len(buf):
+        raise ValueError("REQCOL id column truncated")
+    ids = backend.ids_from_bytes(buf[pos:end], width)
+    out: List[Request] = []
+    mpos = 0
+    ipos = 0
+    for code in kinds:
+        if code == _REQ_DISTANCE:
+            out.append(DistanceRequest(ids[ipos], ids[ipos + 1]))
+            ipos += 2
+        elif code == _REQ_ONE_TO_MANY:
+            k = counts[mpos]
+            mpos += 1
+            out.append(OneToManyRequest(ids[ipos], ids[ipos + 1 : ipos + 1 + k]))
+            ipos += 1 + k
+        elif code == _REQ_TABLE:
+            ns, nt = counts[mpos], counts[mpos + 1]
+            mpos += 2
+            out.append(
+                TableRequest(ids[ipos : ipos + ns], ids[ipos + ns : ipos + ns + nt])
+            )
+            ipos += ns + nt
+        else:
+            raise ValueError(f"unknown REQCOL request kind {code}")
+    return out
+
+
+def pack_label_entries(entries) -> bytes:
+    """Build-band label entries -> one packed LBLCHUNK block.
+
+    ``entries`` is the build workers' sync unit: ``(u, fwd, bwd)`` per
+    node, each side a hub-ascending list of ``(hub, dist, parent)``
+    tuples whose parent is either ``-1`` (root) or a hub of the *same*
+    side (the pruning invariant — see ``_pruned_upward_labels``).  The
+    block stores hubs as first-absolute-then-``delta-1`` uvarints and
+    parents as 1-based in-slice positions, exactly like HL2; distances
+    ride as raw float64, or as uvarints when every value is integral
+    (bit-exact either way).  Replaces the pickled entry lists the
+    barrier-mode build broadcasts — same information, a fraction of the
+    bytes, and shareable through one shared-memory write.
+    """
+    stream = bytearray()
+    dists: List[float] = []
+    nnodes = 0
+    for u, f, b in entries:
+        nnodes += 1
+        _uvarint_append(stream, u)
+        _uvarint_append(stream, len(f))
+        _uvarint_append(stream, len(b))
+        for side in (f, b):
+            prev = -1
+            for hub, _, _ in side:
+                _uvarint_append(stream, hub - prev - 1)
+                prev = hub
+            hubs = [e[0] for e in side]
+            for hub, _, par in side:
+                if par < 0:
+                    _uvarint_append(stream, 0)
+                else:
+                    ppos = bisect_left(hubs, par)
+                    if ppos >= len(hubs) or hubs[ppos] != par:
+                        raise ValueError(
+                            f"label entry parent {par} of hub {hub} is not "
+                            "a kept hub of the same node"
+                        )
+                    _uvarint_append(stream, ppos + 1)
+            for _, d, _ in side:
+                dists.append(d)
+    enc = _CHUNK_UV
+    for d in dists:
+        if not (0.0 <= d <= 9007199254740992.0 and float(int(d)) == d):
+            enc = _CHUNK_F8
+            break
+    out = bytearray()
+    out.append(enc)
+    out += struct.pack("<q", nnodes)
+    out += struct.pack("<q", len(stream))
+    out += stream
+    if enc == _CHUNK_UV:
+        dstream = bytearray()
+        for d in dists:
+            _uvarint_append(dstream, int(d))
+        out += struct.pack("<q", len(dstream))
+        out += dstream
+    else:
+        out += struct.pack("<q", len(dists) * 8)
+        out += array("d", dists).tobytes()
+    return bytes(out)
+
+
+def unpack_label_entries(blob) -> List[tuple]:
+    """LBLCHUNK block -> ``(u, fwd, bwd)`` entry lists, exact round-trip."""
+    buf = memoryview(blob)
+    enc = buf[0]
+    (nnodes,) = struct.unpack_from("<q", buf, 1)
+    (nstream,) = struct.unpack_from("<q", buf, 9)
+    pos = 17
+    codes = _uvarint_decode(buf[pos : pos + nstream])
+    pos += nstream
+    (ndist,) = struct.unpack_from("<q", buf, pos)
+    pos += 8
+    if enc == _CHUNK_UV:
+        dvals = [float(v) for v in _uvarint_decode(buf[pos : pos + ndist])]
+    elif enc == _CHUNK_F8:
+        darr = array("d")
+        darr.frombytes(bytes(buf[pos : pos + ndist]))
+        dvals = darr.tolist()
+    else:
+        raise ValueError(f"unknown LBLCHUNK distance encoding {enc}")
+    out: List[tuple] = []
+    ci = 0
+    di = 0
+    for _ in range(nnodes):
+        u, nf, nb = codes[ci], codes[ci + 1], codes[ci + 2]
+        ci += 3
+        sides = []
+        for count in (nf, nb):
+            hubs: List[int] = []
+            prev = -1
+            for _ in range(count):
+                prev = prev + 1 + codes[ci]
+                ci += 1
+                hubs.append(prev)
+            entries = []
+            for k in range(count):
+                p = codes[ci]
+                ci += 1
+                par = -1 if p == 0 else hubs[p - 1]
+                entries.append((hubs[k], dvals[di], par))
+                di += 1
+            sides.append(entries)
+        out.append((u, sides[0], sides[1]))
+    return out
 
 
 def _save_hl2(index: HubLabelIndex, fh: BinaryIO) -> None:

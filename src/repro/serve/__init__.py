@@ -45,6 +45,7 @@ from .health import BackoffPolicy, CircuitBreaker
 from .pool import (
     HedgeMismatch,
     ReplyCorrupted,
+    RequestCorrupted,
     WorkerCrashed,
     WorkerPool,
     WorkerStalled,
@@ -62,6 +63,7 @@ __all__ = [
     "OneToManyRequest",
     "ReplyCorrupted",
     "Request",
+    "RequestCorrupted",
     "Server",
     "ServerClosed",
     "ServerOverloaded",

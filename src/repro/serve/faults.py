@@ -38,6 +38,22 @@ Worker-side actions (dicts, picklable across the pipe):
             short write.
 ==========  ===========================================================
 
+Dispatcher-side actions (the symmetric **request-lane** faults, applied
+by the pool *before* the frame is sent — the worker only ever sees the
+damage, exactly like a torn write it did not cause):
+
+=================  ====================================================
+``req_corrupt``    flip one byte of the packed request payload after
+                   its CRC went into the control frame.
+``req_truncate``   short-write the packed request payload into the
+                   lane, frame metadata unchanged.
+=================  ====================================================
+
+Request faults are a documented no-op when the sub-batch rides the
+pickled pipe path (``request_transport="pipe"``, or a batch carrying
+non-column request types): there is no packed payload to damage, and
+the contract under test — never a wrong answer — holds trivially.
+
 File-level helpers :func:`torn_copy` / :func:`flipped_copy` damage a
 *copy* of a bundle file for the ``BundleCorrupted`` tests; they never
 touch the original.
@@ -56,9 +72,13 @@ __all__ = [
     "FaultPlan",
     "apply_pre",
     "apply_reply",
+    "apply_request",
     "corrupt",
     "flipped_copy",
+    "is_request_fault",
     "kill",
+    "req_corrupt",
+    "req_truncate",
     "stall",
     "torn_copy",
     "truncate",
@@ -70,7 +90,8 @@ __all__ = [
 CRASH_EXIT_CODE = 86
 
 _REPLY_KINDS = ("corrupt", "truncate")
-_ALL_KINDS = ("kill", "stall") + _REPLY_KINDS
+_REQUEST_KINDS = ("req_corrupt", "req_truncate")
+_ALL_KINDS = ("kill", "stall") + _REPLY_KINDS + _REQUEST_KINDS
 
 
 # ----------------------------------------------------------------------
@@ -98,6 +119,24 @@ def truncate(drop: int = 8) -> dict:
     if drop <= 0:
         raise ValueError(f"truncate drop must be positive, got {drop}")
     return {"kind": "truncate", "drop": drop}
+
+
+def req_corrupt(offset: Optional[int] = None) -> dict:
+    """Flip one *request*-payload byte (at ``offset``, default last)."""
+    return {"kind": "req_corrupt", "offset": offset}
+
+
+def req_truncate(drop: int = 8) -> dict:
+    """Short-write the packed request payload by ``drop`` bytes."""
+    if drop <= 0:
+        raise ValueError(f"req_truncate drop must be positive, got {drop}")
+    return {"kind": "req_truncate", "drop": drop}
+
+
+def is_request_fault(action: dict) -> bool:
+    """True when the action damages the outbound request payload —
+    the dispatcher consumes those itself instead of forwarding them."""
+    return action.get("kind") in _REQUEST_KINDS
 
 
 class FaultPlan:
@@ -160,6 +199,10 @@ class FaultPlan:
                     schedule[(d, s)] = stall(stall_s)
                 elif k == "corrupt":
                     schedule[(d, s)] = corrupt()
+                elif k == "req_corrupt":
+                    schedule[(d, s)] = req_corrupt()
+                elif k == "req_truncate":
+                    schedule[(d, s)] = req_truncate()
                 else:
                     schedule[(d, s)] = truncate()
         return cls(schedule)
@@ -218,6 +261,28 @@ def apply_reply(action: dict, blob: bytes) -> bytes:
         out[off] ^= 0xFF
         return bytes(out)
     if kind == "truncate":
+        return blob[: max(0, len(blob) - action["drop"])]
+    return blob
+
+
+def apply_request(action: dict, blob: bytes) -> bytes:
+    """Damage the packed *request* payload after its CRC was framed.
+
+    The dispatcher-side mirror of :func:`apply_reply`: the control
+    frame carries the clean payload's CRC and length, the lane (or
+    pipe) carries these damaged bytes, and the worker's verification
+    must refuse to reconstruct requests from them.  Non-request kinds
+    pass through untouched.
+    """
+    kind = action["kind"]
+    if kind == "req_corrupt" and blob:
+        off = action.get("offset")
+        if off is None or not 0 <= off < len(blob):
+            off = len(blob) - 1
+        out = bytearray(blob)
+        out[off] ^= 0xFF
+        return bytes(out)
+    if kind == "req_truncate":
         return blob[: max(0, len(blob) - action["drop"])]
     return blob
 

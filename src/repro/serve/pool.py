@@ -36,6 +36,20 @@ with a **process pool over a shared bundle substrate**:
   sub-batch), so a single ring with no read barrier is race-free; a
   reply larger than the lane falls back to the pipe transparently, and
   ``reply_transport="pipe"`` turns lanes off (the A/B baseline).
+* The *request* path is symmetric: each sub-batch's typed requests are
+  packed into flat REQCOL columns (:func:`repro.core.serialize.
+  pack_requests` — per-kind codes, uvarint shape counts, one int32/64
+  node-id column at HLIDX2's width discipline), written into a second
+  per-worker **request lane**, and announced with a ~60 B
+  ``("reql", offset, nbytes, crc)`` frame; the worker reconstructs the
+  typed requests from the columns without per-object unpickling.
+  Oversized batches ride the pipe packed (``"reqp"``), non-column
+  request kinds (and ``request_transport="pipe"``, the A/B baseline)
+  fall back to classic pickled dispatch, and a payload failing its
+  CRC32 check fails typed as :class:`RequestCorrupted` — never a wrong
+  answer.  ``stats()["request_path"]`` counts bytes per transport and
+  ``stats()["dispatch"]`` splits dispatch wall time into
+  pack/send/compute/merge.
 * A shared :class:`~repro.baselines.base.DistanceCache` stays in the
   dispatcher process: point hits are answered before any dispatch, and
   freshly computed point distances are stored back after the merge —
@@ -56,6 +70,10 @@ ready-handshake + respawn) also runs the **parallel hub-label build**:
 ``build``-role workers (see :func:`build_worker_handles` and the build
 loop below), which hold the upward search graphs and a growing replica
 of the finished labels, and return per-node label entries band by band.
+In the pipelined build those entries travel as packed LBLCHUNK columns
+through a shared sync ring instead of pickled lists, and the sync
+broadcast for band *b* overlaps band *b+1*'s compute (see
+``repro.baselines.hl._build_labels_parallel``).
 
 Everything here is synchronous; :class:`repro.serve.Server` wires a
 pool in as its third execution tier by dispatching off-loop (the event
@@ -82,6 +100,7 @@ from ..baselines.base import (
     Request,
     TableRequest,
 )
+from ..core.serialize import pack_requests, unpack_requests
 from . import faults as _faults
 from .health import BackoffPolicy, CircuitBreaker
 
@@ -89,6 +108,7 @@ __all__ = [
     "CrashRequest",
     "HedgeMismatch",
     "ReplyCorrupted",
+    "RequestCorrupted",
     "WorkerCrashed",
     "WorkerHandle",
     "WorkerPool",
@@ -101,22 +121,25 @@ __all__ = [
 #: from a real fault in CI logs.
 _CRASH_EXIT_CODE = _faults.CRASH_EXIT_CODE
 
-#: Default shared-memory result-lane size per worker.  Replies are one
-#: float64 per answered (s, t) pair, so 1 MiB covers a 128k-pair
-#: sub-batch — far past the planner's batch shapes; larger replies fall
-#: back to the pipe (counted in ``stats()['reply_path']``).
+#: Default shared-memory lane size per worker (reply and request rings
+#: alike).  Replies are one float64 per answered (s, t) pair, so 1 MiB
+#: covers a 128k-pair sub-batch — far past the planner's batch shapes —
+#: and packed REQCOL requests are smaller still; larger payloads fall
+#: back to the pipe (counted in ``stats()['reply_path']`` /
+#: ``stats()['request_path']``).
 _LANE_BYTES_DEFAULT = 1 << 20
 
 
-class _ReplyLane:
-    """One worker's parent-owned shared-memory reply ring.
+class _Lane:
+    """One parent-owned shared-memory ring (reply, request, or sync).
 
-    The parent creates (and finally unlinks) the segment; the worker
-    attaches by name and writes each sub-batch's packed reply at a ring
-    offset it reports back over the pipe.  Because the pool is lockstep
-    per worker — a new sub-batch is only sent after the previous reply
-    was consumed — at most one reply is live in the ring at a time and
-    no read/write barrier is needed.
+    The parent creates (and finally unlinks) the segment; the peer
+    attaches by name and the writing side places each payload at a ring
+    offset announced in a tiny pipe frame.  Every use is lockstep — at
+    most one payload per writer is live in its ring region at a time
+    (one in-flight sub-batch per serve worker; one band chunk per build
+    worker's double-buffered slice) — so no read/write barrier is
+    needed.
     """
 
     __slots__ = ("shm", "size")
@@ -132,10 +155,10 @@ class _ReplyLane:
         return self.shm.name
 
     def view(self, offset: int, nbytes: int) -> memoryview:
-        """Zero-copy window over one reply (valid until the next send)."""
+        """Zero-copy window over one payload (valid until the next send)."""
         if not 0 <= offset <= self.size - nbytes:
             raise ValueError(
-                f"reply window [{offset}, {offset + nbytes}) outside lane "
+                f"lane window [{offset}, {offset + nbytes}) outside lane "
                 f"of {self.size} bytes"
             )
         return self.shm.buf[offset : offset + nbytes]
@@ -144,8 +167,8 @@ class _ReplyLane:
         """Close the parent mapping and unlink the segment (idempotent)."""
         try:
             self.shm.close()
-        except Exception:  # pragma: no cover - close never raises on CPython
-            pass
+        except BufferError:  # pragma: no cover - a still-exported view
+            pass  # (e.g. a traceback-pinned frame); unlink regardless
         try:
             self.shm.unlink()
         except FileNotFoundError:
@@ -185,6 +208,15 @@ class ReplyCorrupted(WorkerCrashed):
     """A reply payload failed its CRC32 check (torn shared-memory
     write, truncated frame).  Handled like a crash: the sub-batch is
     retried on a respawned worker rather than unpacked into garbage."""
+
+
+class RequestCorrupted(ReplyCorrupted):
+    """A packed *request* payload failed its CRC32 check (or would not
+    decode) on the worker side — the request lane's mirror of
+    :class:`ReplyCorrupted`.  The worker reports it typed instead of
+    reconstructing garbage requests, keeps serving, and the
+    dispatcher's existing crash path retries the sub-batch (pickled,
+    on a respawned worker) — never a wrong answer."""
 
 
 class HedgeMismatch(WorkerCrashed):
@@ -362,8 +394,16 @@ def _worker_main(conn, spec: dict) -> None:
             planner = QueryPlanner(engine)
             lane_cfg = spec.get("lane")
             lane = _attach_lane(lane_cfg) if lane_cfg is not None else None
+            req_cfg = spec.get("req_lane")
+            req_lane = _attach_lane(req_cfg) if req_cfg is not None else None
             conn.send(("ready", graph.n))
-            _serve_loop(conn, planner, lane, lane_cfg["size"] if lane_cfg else 0)
+            _serve_loop(
+                conn,
+                planner,
+                lane,
+                lane_cfg["size"] if lane_cfg else 0,
+                req_lane,
+            )
         elif spec["role"] == "build":
             conn.send(("ready", spec["n"]))
             _build_loop(conn, spec)
@@ -396,7 +436,44 @@ def _recv_command(conn, poll_s: float = 1.0):
             raise EOFError("parent process is gone; worker exiting")
 
 
-def _serve_loop(conn, planner, lane=None, lane_size: int = 0) -> None:
+def _decode_request_frame(msg, req_lane):
+    """``(requests, fault)`` from a packed request frame, verified.
+
+    ``("reql", offset, nbytes, crc[, fault])`` resolves the payload
+    from the request lane, ``("reqp", payload, crc[, fault])`` carries
+    it on the pipe (the oversized fallback).  Either way the payload's
+    CRC32 must match the one the dispatcher framed *before* any
+    scripted request fault damaged the bytes — a mismatch (or a payload
+    that will not decode) raises :class:`RequestCorrupted` so the
+    caller reports it typed instead of executing garbage requests.
+    """
+    op = msg[0]
+    if op == "reql":
+        _, offset, nbytes, crc = msg[:4]
+        fault = msg[4] if len(msg) > 4 else None
+        if req_lane is None:
+            raise RequestCorrupted(
+                "request-lane frame arrived but no lane is attached"
+            )
+        payload = bytes(req_lane.buf[offset : offset + nbytes])
+    else:
+        _, payload, crc = msg[:3]
+        fault = msg[3] if len(msg) > 3 else None
+    if zlib.crc32(payload) != crc:
+        raise RequestCorrupted(
+            f"request payload failed CRC32 ({len(payload)} bytes via {op!r})"
+        )
+    try:
+        return unpack_requests(payload), fault
+    except Exception as exc:
+        raise RequestCorrupted(
+            f"request payload would not decode: {exc}"
+        ) from None
+
+
+def _serve_loop(
+    conn, planner, lane=None, lane_size: int = 0, req_lane=None
+) -> None:
     wpos = 0  # ring write head; single live reply, so wrap is just reset
     while True:
         msg = _recv_command(conn)
@@ -404,11 +481,20 @@ def _serve_loop(conn, planner, lane=None, lane_size: int = 0) -> None:
         if op == "stop":
             conn.send(("bye",))
             return
-        if op == "batch":
-            requests = msg[1]
-            # Scripted fault for this sub-batch, if the dispatcher runs
-            # under a FaultPlan; production batches are plain 2-tuples.
-            fault = msg[2] if len(msg) > 2 else None
+        if op in ("batch", "reql", "reqp"):
+            if op == "batch":
+                # Pickled-object dispatch: the fallback seam (non-column
+                # request kinds, retries, hedges, transport="pipe").
+                # Scripted fault rides as a third element when the
+                # dispatcher runs under a FaultPlan.
+                requests = msg[1]
+                fault = msg[2] if len(msg) > 2 else None
+            else:
+                try:
+                    requests, fault = _decode_request_frame(msg, req_lane)
+                except RequestCorrupted as exc:
+                    conn.send(("err", exc))
+                    continue
             if any(isinstance(r, CrashRequest) for r in requests):
                 os._exit(_CRASH_EXIT_CODE)  # test hook: die mid-batch
             if fault is not None:
@@ -447,14 +533,30 @@ def _build_loop(conn, spec: dict) -> None:
     """Parallel hub-label build worker: bands in, label entries out.
 
     Holds the contraction's upward graphs plus a local replica of every
-    finished label (grown by ``sync`` broadcasts), so each ``band``
-    command runs the exact pruned upward searches the serial build runs
-    — same inputs, same entries, byte-identical flattened columns.
+    finished label (grown by sync broadcasts), so each ``band`` command
+    runs the exact pruned upward searches the serial build runs — same
+    inputs, same entries, byte-identical flattened columns.
+
+    Two protocols share the loop.  The **barrier** build (the A/B
+    baseline) sends ``("band", nodes)`` and gets pickled entry lists
+    back, then fences each band with an acked pickled ``("sync",
+    entries)``.  The **pipelined** build sends ``("band", nodes,
+    offset, limit)``: the worker packs its chunk into LBLCHUNK columns
+    (:func:`repro.core.serialize.pack_label_entries`), writes it into
+    its designated slice of the shared sync ring when it fits, and
+    replies with a tiny ``("okb", offset, nbytes, crc, elapsed)`` frame
+    (``("okp", blob, crc, elapsed)`` when oversized or laneless).  Peer
+    chunks arrive as un-acked ``("syncl"/"syncp", ...)`` relays — pipe
+    FIFO order makes the next ``band`` command the fence, which is what
+    lets band *b*'s broadcast overlap band *b+1*'s compute.
     """
     from ..baselines.hl import _pruned_upward_labels
+    from ..core.serialize import pack_label_entries, unpack_label_entries
     from ..graph.workspace import SearchWorkspace
 
     up_out, up_in, n = spec["up_out"], spec["up_in"], spec["n"]
+    lane_cfg = spec.get("sync_lane")
+    lane = _attach_lane(lane_cfg) if lane_cfg is not None else None
     fwd: List[Optional[list]] = [None] * n
     bwd: List[Optional[list]] = [None] * n
     ws = SearchWorkspace(n)
@@ -473,12 +575,51 @@ def _build_loop(conn, spec: dict) -> None:
                 fwd[u] = f
                 bwd[u] = b
                 out.append((u, f, b))
-            conn.send(("ok", out, time.perf_counter() - t0))
+            elapsed = time.perf_counter() - t0
+            if len(msg) == 2:  # barrier mode: pickled entry lists
+                conn.send(("ok", out, elapsed))
+                continue
+            offset, limit = msg[2], msg[3]
+            blob = pack_label_entries(out)
+            crc = zlib.crc32(blob)
+            if lane is not None and len(blob) <= limit:
+                lane.buf[offset : offset + len(blob)] = blob
+                conn.send(("okb", offset, len(blob), crc, elapsed))
+            else:
+                conn.send(("okp", blob, crc, elapsed))
         elif op == "sync":
             for u, f, b in msg[1]:
                 fwd[u] = f
                 bwd[u] = b
             conn.send(("ok",))
+        elif op in ("syncl", "syncp"):
+            if op == "syncl":
+                _, offset, nbytes, crc = msg
+                blob = (
+                    bytes(lane.buf[offset : offset + nbytes])
+                    if lane is not None
+                    else b""
+                )
+            else:
+                _, blob, crc = msg
+            if zlib.crc32(blob) != crc:
+                # There is no ack round to carry this back on; the err
+                # frame surfaces at the parent's next recv from this
+                # worker (its band-reply slot), failing the build typed
+                # instead of silently diverging label replicas.
+                conn.send(
+                    (
+                        "err",
+                        ReplyCorrupted(
+                            f"build sync chunk failed CRC32 "
+                            f"({len(blob)} bytes via {op!r})"
+                        ),
+                    )
+                )
+                continue
+            for u, f, b in unpack_label_entries(blob):
+                fwd[u] = f
+                bwd[u] = b
         else:
             conn.send(("err", ValueError(f"unknown build op {op!r}")))
 
@@ -608,7 +749,17 @@ class WorkerHandle:
                 f"(exitcode {self.process.exitcode})"
             ) from None
         if reply[0] == "err":
-            raise reply[1]
+            # Raise without leaving ``reply -> exc -> traceback -> this
+            # frame -> reply`` as a self-sustaining cycle: the traceback
+            # pins every frame it crossed (including callers holding
+            # live lane views), which would keep the lane's buffer
+            # exported past pool.close() until a cyclic GC pass.
+            exc = reply[1]
+            del reply
+            try:
+                raise exc
+            finally:
+                del exc
         return reply
 
     def call(self, message, timeout: Optional[float] = None):
@@ -656,12 +807,16 @@ def build_worker_handles(
     workers: int,
     mp_context: Optional[str] = None,
     backend_name: Optional[str] = None,
+    sync_lane: Optional[dict] = None,
 ) -> List[WorkerHandle]:
     """Spawn ``workers`` build-role handles sharing one upward-graph spec.
 
     Under the default ``fork`` context the upward graphs are inherited
     copy-on-write (no pickling); under ``spawn`` they are pickled once
-    per worker.  Used by the parallel
+    per worker.  ``sync_lane`` (a ``{"name", "size"}`` dict for a
+    parent-owned :class:`_Lane`) is the pipelined build's shared sync
+    ring — every worker attaches the *same* segment, each writing only
+    its designated slice.  Used by the parallel
     :class:`~repro.baselines.hl.HubLabelIndex` build.
     """
     ctx = multiprocessing.get_context(mp_context or _default_context_name())
@@ -672,6 +827,8 @@ def build_worker_handles(
         "up_in": up_in,
         "backend": backend_name or backend.active(),
     }
+    if sync_lane is not None:
+        spec["sync_lane"] = sync_lane
     return [WorkerHandle(spec, ctx) for _ in range(workers)]
 
 
@@ -752,6 +909,18 @@ class WorkerPool:
     lane_bytes:
         Size of each worker's reply lane (default 1 MiB); replies that
         do not fit fall back to the pipe for that sub-batch only.
+    request_transport:
+        The symmetric knob for the *request* side: ``"auto"``
+        (default) packs each sub-batch into REQCOL columns in a
+        per-worker shared-memory request lane and sends only a ~60 B
+        control frame; ``"shm"`` requires lanes; ``"pipe"`` keeps the
+        classic pickled-object dispatch (the A/B baseline).  Batches
+        containing non-column request kinds fall back to pickled
+        dispatch per sub-batch; answers are identical on every path.
+    request_lane_bytes:
+        Size of each worker's request lane (default 1 MiB); packed
+        batches that do not fit ride the pipe packed (``"reqp"``) for
+        that sub-batch only.
 
     ``execute`` is the whole query surface: one heterogeneous request
     batch in, positionally aligned results out, bit-identical to the
@@ -772,6 +941,8 @@ class WorkerPool:
         mmap: bool = True,
         reply_transport: str = "auto",
         lane_bytes: int = _LANE_BYTES_DEFAULT,
+        request_transport: str = "auto",
+        request_lane_bytes: int = _LANE_BYTES_DEFAULT,
         recv_timeout_s: float = 30.0,
         hedge_after_s: Optional[float] = None,
         hedge_grace_s: float = 1.0,
@@ -790,6 +961,15 @@ class WorkerPool:
             )
         if lane_bytes <= 0:
             raise ValueError(f"lane_bytes must be positive, got {lane_bytes}")
+        if request_transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                "request_transport must be 'auto', 'shm' or 'pipe', got "
+                f"{request_transport!r}"
+            )
+        if request_lane_bytes <= 0:
+            raise ValueError(
+                f"request_lane_bytes must be positive, got {request_lane_bytes}"
+            )
         if recv_timeout_s <= 0:
             raise ValueError(
                 f"recv_timeout_s must be positive, got {recv_timeout_s}"
@@ -838,31 +1018,49 @@ class WorkerPool:
         #: Base worker spec, kept for the all-quarantined planner fallback.
         self._spec = spec
         ctx = multiprocessing.get_context(mp_context or _default_context_name())
-        # Shared-memory reply lanes: one per worker, recorded in a
-        # per-handle copy of the spec so a respawned worker re-attaches
-        # the same segment.  "auto" degrades to pipe replies on the
-        # first creation failure; "shm" propagates it.
+        # Shared-memory lanes: one reply ring and one request ring per
+        # worker, recorded in a per-handle copy of the spec so a
+        # respawned worker re-attaches the same segments.  "auto"
+        # degrades to the pipe on the first creation failure; "shm"
+        # propagates it.
         self._lane_bytes = lane_bytes
-        self._lanes: List[Optional[_ReplyLane]] = []
+        self._req_lane_bytes = request_lane_bytes
+        self._lanes: List[Optional[_Lane]] = []
+        self._req_lanes: List[Optional[_Lane]] = []
         self._handles: List[WorkerHandle] = []
         self._reply_pipe_bytes = 0
         self._reply_shm_bytes = 0
         self._oversized_replies = 0
         lanes_on = reply_transport in ("auto", "shm")
+        req_lanes_on = request_transport in ("auto", "shm")
         try:
             for _ in range(workers):
                 lane = None
                 if lanes_on:
                     try:
-                        lane = _ReplyLane(lane_bytes)
+                        lane = _Lane(lane_bytes)
                     except Exception:
                         if reply_transport == "shm":
                             raise
                         lanes_on = False
+                self._lanes.append(lane)
+                req_lane = None
+                if req_lanes_on:
+                    try:
+                        req_lane = _Lane(request_lane_bytes)
+                    except Exception:
+                        if request_transport == "shm":
+                            raise
+                        req_lanes_on = False
+                self._req_lanes.append(req_lane)
                 wspec = dict(spec)  # shallow: the bundle blob is shared
                 if lane is not None:
                     wspec["lane"] = {"name": lane.name, "size": lane.size}
-                self._lanes.append(lane)
+                if req_lane is not None:
+                    wspec["req_lane"] = {
+                        "name": req_lane.name,
+                        "size": req_lane.size,
+                    }
                 self._handles.append(WorkerHandle(wspec, ctx))
         except BaseException:
             for handle in self._handles:
@@ -870,13 +1068,19 @@ class WorkerPool:
                     handle.close()
                 except Exception:
                     pass
-            for lane in self._lanes:
+            for lane in (*self._lanes, *self._req_lanes):
                 if lane is not None:
                     lane.destroy()
             raise
         #: Reply-path transport actually in effect ("shm" or "pipe").
         self.reply_transport = (
             "shm" if any(lane is not None for lane in self._lanes) else "pipe"
+        )
+        #: Request-path transport actually in effect ("shm" or "pipe").
+        self.request_transport = (
+            "shm"
+            if any(lane is not None for lane in self._req_lanes)
+            else "pipe"
         )
         #: Node count of the bundled graph (from the ready handshake) —
         #: what Server.submit validates request node ids against.
@@ -885,6 +1089,20 @@ class WorkerPool:
         self._t0 = time.perf_counter()
         self._dispatches = 0
         self._imbalance_sum = 0.0
+        # Request-path counters + per-slot request-ring write heads
+        # (the rings are parent-owned, so the cursors live here and
+        # survive worker respawns).
+        self._req_pipe_bytes = 0
+        self._req_shm_bytes = 0
+        self._req_oversized = 0
+        self._req_pickled = 0
+        self._req_crc_failures = 0
+        self._req_wpos = [0] * workers
+        # Dispatch wall-time breakdown (stats()["dispatch"]).
+        self._pack_s = 0.0
+        self._send_s = 0.0
+        self._compute_s = 0.0
+        self._merge_s = 0.0
         self._wstats = [
             {"batches": 0, "requests": 0, "pairs": 0, "busy_s": 0.0}
             for _ in self._handles
@@ -916,6 +1134,71 @@ class WorkerPool:
 
     def pids(self) -> List[Optional[int]]:
         return [h.pid for h in self._handles]
+
+    def lane_names(self) -> List[str]:
+        """Names of every shared-memory segment the pool owns (reply
+        and request lanes) — tests assert none outlive ``close()``."""
+        return [
+            lane.name
+            for lane in (*self._lanes, *self._req_lanes)
+            if lane is not None
+        ]
+
+    # ------------------------------------------------------------------
+    def _encode_sub(self, slot: int, reqs: List[Request], fault):
+        """One sub-batch -> its wire message, with request-path accounting.
+
+        The happy path packs the requests into REQCOL columns, writes
+        them at worker ``slot``'s request-ring cursor (8-aligned
+        advance, wrap to 0 — safe because dispatch is lockstep per
+        worker) and returns the tiny ``("reql", offset, nbytes, crc)``
+        control frame.  A packed batch larger than the lane rides the
+        pipe packed (``"reqp"``); a batch with non-column request kinds
+        — or a pool with request lanes off — falls back to classic
+        pickled dispatch.  Scripted *request* faults (``req_corrupt`` /
+        ``req_truncate``) are consumed here: the frame keeps the clean
+        payload's CRC and length while the damaged bytes go into the
+        lane/pipe, exactly like a torn write the worker must catch; on
+        the pickled path there is no packed payload to damage, so they
+        are a documented no-op.  Every frame's pickled size is charged
+        to ``pipe_bytes`` — the same accounting rule the reply path
+        uses.
+        """
+        req_fault = None
+        if fault is not None and _faults.is_request_fault(fault):
+            req_fault, fault = fault, None
+        lane = self._req_lanes[slot]
+        blob = pack_requests(reqs) if lane is not None else None
+        if blob is None:
+            self._req_pickled += 1
+            msg: tuple = ("batch", reqs)  # repro: allow[hot-path-pickle-discipline] — the fallback seam
+            if fault is not None:
+                msg = ("batch", reqs, fault)
+            self._req_pipe_bytes += len(pickle.dumps(msg))
+            return msg
+        crc = zlib.crc32(blob)
+        payload = blob
+        if req_fault is not None:
+            payload = _faults.apply_request(req_fault, blob)
+        if len(blob) <= lane.size:
+            wpos = self._req_wpos[slot]
+            if wpos + len(blob) > lane.size:
+                wpos = 0
+            lane.shm.buf[wpos : wpos + len(payload)] = payload
+            # keep the next write 8-aligned, mirroring the reply ring
+            self._req_wpos[slot] = (wpos + len(blob) + 7) & ~7
+            msg = ("reql", wpos, len(blob), crc)
+            if fault is not None:
+                msg = msg + (fault,)
+            self._req_pipe_bytes += len(pickle.dumps(msg))
+            self._req_shm_bytes += len(blob)
+            return msg
+        self._req_oversized += 1
+        msg = ("reqp", payload, crc)
+        if fault is not None:
+            msg = msg + (fault,)
+        self._req_pipe_bytes += len(pickle.dumps(msg))
+        return msg
 
     # ------------------------------------------------------------------
     def _reply_payload(self, w: int, reply) -> Tuple[object, float]:
@@ -1046,11 +1329,12 @@ class WorkerPool:
         else:
             plan = plan_split(pending, len(live)) if pending else []
 
-            # Phase 1: send every sub-batch (workers start computing in
-            # parallel); a send that hits a dead pipe is deferred to the
-            # recv phase's retry path so it cannot stall the other
-            # workers.  Under a FaultPlan the scripted action for
-            # (dispatch, slot) rides inside the batch message.
+            # Phase 1: encode and send every sub-batch (workers start
+            # computing in parallel); a send that hits a dead pipe is
+            # deferred to the recv phase's retry path so it cannot
+            # stall the other workers.  Under a FaultPlan the scripted
+            # action for (dispatch, slot) rides inside the message —
+            # request-side actions are consumed by the encoder itself.
             dispatched = []
             busy_slots: Set[int] = set()
             for j, sub in enumerate(plan):
@@ -1058,16 +1342,19 @@ class WorkerPool:
                     continue
                 slot = live[j]
                 reqs = [r for _, r in sub]
-                msg: tuple = ("batch", reqs)
+                fault = None
                 if self._fault_plan is not None:
                     fault = self._fault_plan.take(dispatch_id, slot)
-                    if fault is not None:
-                        msg = ("batch", reqs, fault)
+                t_pack = time.perf_counter()
+                msg = self._encode_sub(slot, reqs, fault)
+                t_send = time.perf_counter()
+                self._pack_s += t_send - t_pack
                 try:
                     self._handles[slot].send(msg)
                     sent = True
                 except WorkerCrashed:
                     sent = False
+                self._send_s += time.perf_counter() - t_send
                 dispatched.append((slot, sub, sent))
                 busy_slots.add(slot)
 
@@ -1084,6 +1371,7 @@ class WorkerPool:
                         slot, reqs, sent, busy_slots
                     )
                     busy_slots.discard(slot)
+                    t_merge = time.perf_counter()
                     sub_results = _unpack_results(reqs, blob)
                     del blob  # release the lane window before the next send
                     stats = self._wstats[aslot]
@@ -1092,9 +1380,11 @@ class WorkerPool:
                     pairs = sum(_request_pairs(r) for r in reqs)
                     stats["pairs"] += pairs
                     stats["busy_s"] += busy_s
+                    self._compute_s += busy_s
                     pair_loads.append(pairs)
                     for (i, _), value in zip(sub, sub_results):
                         results[i] = value
+                    self._merge_s += time.perf_counter() - t_merge
                     continue
                 except Exception as exc:  # typed failure or remote error
                     busy_slots.discard(slot)
@@ -1164,6 +1454,10 @@ class WorkerPool:
         self._breaker.record_failure(slot)
         if isinstance(exc, WorkerStalled):
             self._watchdog_timeouts += 1
+        if isinstance(exc, RequestCorrupted):
+            # The worker refused a damaged request payload; the reply
+            # CRC counter is untouched (that check never ran).
+            self._req_crc_failures += 1
 
     def _await_reply(
         self, slot: int, reqs: List[Request], busy_slots: Set[int]
@@ -1191,7 +1485,9 @@ class WorkerPool:
         hh = self._handles[hslot]
         self._hedges += 1
         try:
-            hh.send(("batch", reqs))
+            # Hedges ride the pickled path: the duplicate must not
+            # disturb the straggler's request-ring slot.
+            hh.send(("batch", reqs))  # repro: allow[hot-path-pickle-discipline]
         except WorkerCrashed:
             return h.recv(remaining), slot
         deadline = time.monotonic() + remaining
@@ -1324,7 +1620,10 @@ class WorkerPool:
             self._retry_attempts += 1
             handle.respawn()
             try:
-                handle.send(("batch", reqs))
+                # Retries ride the pickled path: after a RequestCorrupted
+                # (or any crash) the clean objects must get through even
+                # if the lane itself is what broke.
+                handle.send(("batch", reqs))  # repro: allow[hot-path-pickle-discipline]
                 reply = handle.recv(self.recv_timeout_s)
                 return self._reply_payload(slot, reply)
             except WorkerCrashed as exc:
@@ -1400,6 +1699,25 @@ class WorkerPool:
                 "oversized_replies": self._oversized_replies,
                 "crc_failures": self._crc_failures,
             },
+            "request_path": {
+                "transport": self.request_transport,
+                "lane_bytes": (
+                    self._req_lane_bytes
+                    if self.request_transport == "shm"
+                    else None
+                ),
+                "pipe_bytes": self._req_pipe_bytes,
+                "shm_bytes": self._req_shm_bytes,
+                "oversized_batches": self._req_oversized,
+                "pickled_batches": self._req_pickled,
+                "crc_failures": self._req_crc_failures,
+            },
+            "dispatch": {
+                "pack_s": round(self._pack_s, 6),
+                "send_s": round(self._send_s, 6),
+                "compute_s": round(self._compute_s, 6),
+                "merge_s": round(self._merge_s, 6),
+            },
             "resilience": {
                 "recv_timeout_s": self.recv_timeout_s,
                 "watchdog_timeouts": self._watchdog_timeouts,
@@ -1443,18 +1761,19 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop every worker and unlink the reply lanes (idempotent).
+        """Stop every worker and unlink all lanes (idempotent).
 
         Workers go first (they hold attachments to the segments), then
-        every lane is closed *and unlinked* — no ``/dev/shm`` entries
-        outlive the pool, even after worker crashes and respawns.
+        every reply and request lane is closed *and unlinked* — no
+        ``/dev/shm`` entries outlive the pool, even after worker
+        crashes and respawns.
         """
         if self._closed:
             return
         self._closed = True
         for handle in self._handles:
             handle.close()
-        for lane in self._lanes:
+        for lane in (*self._lanes, *self._req_lanes):
             if lane is not None:
                 lane.destroy()
 

@@ -863,6 +863,78 @@ def test_recv_discipline_skips_faults_module_and_other_packages():
 
 
 # ----------------------------------------------------------------------
+# hot-path-pickle-discipline
+# ----------------------------------------------------------------------
+def test_pickle_discipline_flags_send_of_request_sequence():
+    findings = run(
+        """\
+        def dispatch(self, conn, reqs):
+            conn.send(("batch", reqs))
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "hot-path-pickle-discipline") == [2]
+
+
+def test_pickle_discipline_flags_pickle_dumps_of_requests():
+    findings = run(
+        """\
+        import pickle
+
+        def frame(self, requests):
+            return pickle.dumps(requests)
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "hot-path-pickle-discipline") == [4]
+
+
+def test_pickle_discipline_accepts_control_frames_and_packed_sends():
+    # Control frames / byte payloads don't mention request identifiers;
+    # the packed encoder itself is not a send.
+    findings = run(
+        """\
+        import pickle
+
+        def dispatch(self, conn, reqs, blob, crc):
+            packed = pack_requests(reqs)
+            conn.send(("reql", 0, len(blob), crc))
+            self._pipe_bytes += len(pickle.dumps(("reql", 0, crc)))
+        """,
+        rel=SERVE,
+    )
+    assert lines_for(findings, "hot-path-pickle-discipline") == []
+
+
+def test_pickle_discipline_allow_annotation_suppresses():
+    findings, suppressed = analyze_source(
+        dedent(
+            """\
+            def retry(self, handle, reqs):
+                handle.send(("batch", reqs))  # repro: allow[hot-path-pickle-discipline]
+            """
+        ),
+        SERVE,
+    )
+    assert lines_for(findings, "hot-path-pickle-discipline") == []
+    assert suppressed == 1
+
+
+def test_pickle_discipline_skips_faults_module_and_other_packages():
+    source = "def f(conn, reqs):\n    conn.send(reqs)\n"
+    assert (
+        lines_for(
+            run(source, rel="src/repro/serve/faults.py"),
+            "hot-path-pickle-discipline",
+        )
+        == []
+    )
+    assert (
+        lines_for(run(source, rel=SRC), "hot-path-pickle-discipline") == []
+    )
+
+
+# ----------------------------------------------------------------------
 # Registry / --explain plumbing
 # ----------------------------------------------------------------------
 EXPECTED_RULES = [
@@ -871,6 +943,7 @@ EXPECTED_RULES = [
     "bench-honesty",
     "determinism",
     "exact-accumulation",
+    "hot-path-pickle-discipline",
     "recv-timeout-discipline",
     "serialize-symmetry",
     "spawn-safety",
@@ -878,7 +951,7 @@ EXPECTED_RULES = [
 ]
 
 
-def test_all_nine_rules_registered():
+def test_all_ten_rules_registered():
     assert [r.id for r in iter_rules()] == EXPECTED_RULES
 
 

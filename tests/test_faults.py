@@ -10,8 +10,9 @@ Layers:
 
 * ``FaultPlan`` / backoff / breaker unit behaviour (no processes);
 * single-fault episodes — kill, stall (watchdog ``WorkerStalled``),
-  corrupted and truncated reply lanes (``ReplyCorrupted`` + retry) —
-  each healing to planner-exact answers;
+  corrupted and truncated reply lanes (``ReplyCorrupted`` + retry),
+  and their PR-9 request-side mirrors (``RequestCorrupted`` + a clean
+  pickled retry) — each healing to planner-exact answers;
 * hedged re-dispatch first-answer-wins with bit-parity between the
   duplicate answers;
 * breaker quarantine -> single-process planner fallback -> recovery;
@@ -46,6 +47,7 @@ from repro.serve import (
     FaultPlan,
     HedgeMismatch,
     ReplyCorrupted,
+    RequestCorrupted,
     WorkerCrashed,
     WorkerPool,
     WorkerStalled,
@@ -86,7 +88,7 @@ def want(hl, reqs):
 
 
 def _shm_names(pool):
-    return [lane.name for lane in pool._lanes if lane is not None]
+    return pool.lane_names()  # reply AND request segments
 
 
 def _assert_no_leaks(pool, shm_names):
@@ -157,6 +159,20 @@ def test_apply_reply_damages_after_crc():
     assert faults.apply_reply(faults.stall(0.0), blob) == blob
 
 
+def test_apply_request_mirrors_apply_reply():
+    blob = bytes(range(32))
+    flipped = faults.apply_request(faults.req_corrupt(offset=4), blob)
+    assert flipped[4] == blob[4] ^ 0xFF and len(flipped) == len(blob)
+    short = faults.apply_request(faults.req_truncate(drop=8), blob)
+    assert short == blob[:-8]
+    # reply-side kinds pass through the request applier untouched
+    assert faults.apply_request(faults.corrupt(), blob) == blob
+    assert faults.is_request_fault(faults.req_corrupt())
+    assert not faults.is_request_fault(faults.corrupt())
+    with pytest.raises(ValueError):
+        faults.req_truncate(0)
+
+
 # ----------------------------------------------------------------------
 # Backoff / breaker unit behaviour (injected clock — no sleeping)
 # ----------------------------------------------------------------------
@@ -208,8 +224,14 @@ def test_breaker_consecutive_counting_resets_on_success():
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize(
     "action",
-    [faults.kill(), faults.corrupt(), faults.truncate()],
-    ids=["kill", "corrupt", "truncate"],
+    [
+        faults.kill(),
+        faults.corrupt(),
+        faults.truncate(),
+        faults.req_corrupt(),
+        faults.req_truncate(),
+    ],
+    ids=["kill", "corrupt", "truncate", "req_corrupt", "req_truncate"],
 )
 def test_injected_fault_heals_via_retry(blob, reqs, want, action):
     plan = FaultPlan.scripted({(0, 0): dict(action)})
@@ -219,8 +241,11 @@ def test_injected_fault_heals_via_retry(blob, reqs, want, action):
         assert plan.injected == 1 and len(plan) == 0
         res = pool.stats()["resilience"]
         assert res["retry"]["attempts"] >= 1
-        if action["kind"] != "kill":
+        if action["kind"] in ("corrupt", "truncate"):
             assert pool.stats()["reply_path"]["crc_failures"] >= 1
+        elif action["kind"].startswith("req_"):
+            assert pool.stats()["request_path"]["crc_failures"] >= 1
+            assert pool.stats()["reply_path"]["crc_failures"] == 0
         assert pool.execute(reqs) == want  # pool fully consistent after
     _assert_no_leaks(pool, shm)
 
@@ -250,6 +275,8 @@ def test_failure_types_are_worker_crashed_subclasses():
     assert issubclass(WorkerStalled, WorkerCrashed)
     assert issubclass(ReplyCorrupted, WorkerCrashed)
     assert issubclass(HedgeMismatch, WorkerCrashed)
+    # the request-side mirror heals through the same retry machinery
+    assert issubclass(RequestCorrupted, ReplyCorrupted)
 
 
 def test_sigstopped_worker_is_detected_and_replaced(blob, reqs, want):
@@ -277,6 +304,31 @@ def test_corrupt_reply_is_typed_when_retries_exhausted(blob):
         with pytest.raises(ReplyCorrupted):
             pool.execute([DistanceRequest(0, 1)])
         assert pool.stats()["reply_path"]["crc_failures"] >= 1
+
+
+def test_corrupt_request_is_typed_when_retries_exhausted(blob, hl):
+    plan = FaultPlan.scripted({(0, 0): faults.req_corrupt()})
+    with WorkerPool(blob, workers=1, max_retries=0, fault_plan=plan) as pool:
+        with pytest.raises(RequestCorrupted):
+            pool.execute([DistanceRequest(0, 1)])
+        stats = pool.stats()
+        assert stats["request_path"]["crc_failures"] >= 1
+        assert stats["reply_path"]["crc_failures"] == 0  # that check never ran
+        # the worker kept serving: the very next dispatch is exact
+        direct = QueryPlanner(hl).execute([DistanceRequest(0, 1)])
+        assert pool.execute([DistanceRequest(0, 1)]) == direct
+
+
+def test_request_fault_is_noop_on_pickled_path(blob, reqs, want):
+    """No packed payload to damage on the pipe transport — documented."""
+    plan = FaultPlan.scripted({(0, 0): faults.req_corrupt()})
+    with WorkerPool(
+        blob, workers=2, request_transport="pipe", fault_plan=plan
+    ) as pool:
+        assert pool.execute(reqs) == want
+        assert plan.injected == 1  # consumed, even though harmless
+        assert pool.stats()["request_path"]["crc_failures"] == 0
+        assert pool.stats()["resilience"]["retry"]["attempts"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -427,8 +479,9 @@ def test_worker_boot_from_damaged_bundle_fails_typed(tmp_path, blob):
 )
 @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
 def test_chaos_schedule_full_contract(graph, hl, blob, name, seed):
-    """Random kill/stall/corrupt/truncate schedules: survivors
-    bit-exact, casualties typed, pool consistent, nothing leaked."""
+    """Random schedules over every fault kind (kill/stall, reply and
+    request corrupt/truncate): survivors bit-exact, casualties typed,
+    pool consistent, nothing leaked."""
     node = graph.n - 1
     reqs = [DistanceRequest(i % graph.n, node - i % graph.n) for i in range(9)]
     reqs += [OneToManyRequest(seed % graph.n, (0, 5, node))]
@@ -462,3 +515,86 @@ def test_chaos_schedule_full_contract(graph, hl, blob, name, seed):
         finally:
             pool.close()
         _assert_no_leaks(pool, shm)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_request_chaos_never_wrong_answer(graph, hl, blob, seed):
+    """Random request-lane damage: every answer exact or typed, never
+    silently wrong, and the lane keeps serving after every heal."""
+    node = graph.n - 1
+    reqs = [DistanceRequest(i % graph.n, node - i % graph.n) for i in range(9)]
+    reqs += [TableRequest((seed % graph.n, 7), (2, node))]
+    plan = FaultPlan.random(
+        seed,
+        dispatches=3,
+        slots=2,
+        rate=0.6,
+        kinds=("req_corrupt", "req_truncate"),
+    )
+    scheduled = len(plan)
+    want = QueryPlanner(hl).execute(reqs)
+    pool = WorkerPool(blob, workers=2, recv_timeout_s=0.25, fault_plan=plan)
+    try:
+        shm = _shm_names(pool)
+        for _ in range(3):
+            out = pool.execute(reqs, return_exceptions=True)
+            for got, expect in zip(out, want):
+                if isinstance(got, BaseException):
+                    assert isinstance(got, WorkerCrashed)  # typed, never raw
+                else:
+                    assert got == expect  # bit-parity of survivors
+        assert plan.injected + len(plan) == scheduled
+        assert pool.execute(reqs) == want  # fully healed
+        stats = pool.stats()["request_path"]
+        assert stats["transport"] == "shm"
+        assert stats["crc_failures"] <= plan.injected
+    finally:
+        pool.close()
+    _assert_no_leaks(pool, shm)
+
+
+# ----------------------------------------------------------------------
+# Pipelined build under crashes: typed failure, clean teardown, restartable
+# ----------------------------------------------------------------------
+def test_pipelined_build_crash_mid_sync_typed_and_restartable(monkeypatch):
+    """A build worker killed while band commands / sync relays are in
+    flight surfaces as a typed WorkerCrashed (no hang — the build recv
+    is watchdog-bounded), tears down cleanly, and a rerun reproduces
+    the serial bytes exactly."""
+    import repro.serve.pool as pool_mod
+
+    g = grid_city(6, 6, seed=8)
+    serial = bundle_bytes(HubLabelIndex(g))
+    real = pool_mod.build_worker_handles
+    lanes = []
+    real_lane = pool_mod._Lane
+
+    class _TrackedLane(real_lane):
+        def __init__(self, size):
+            super().__init__(size)
+            lanes.append(self.name)
+
+    def sabotaged(*args, **kwargs):
+        handles = real(*args, **kwargs)
+        os.kill(handles[0].process.pid, signal.SIGKILL)
+        return handles
+
+    monkeypatch.setattr(pool_mod, "build_worker_handles", sabotaged)
+    monkeypatch.setattr(pool_mod, "_Lane", _TrackedLane)
+    with pytest.raises(WorkerCrashed):
+        HubLabelIndex(g, build_workers=2, band_min=2)
+    monkeypatch.undo()
+    assert lanes  # the sync ring existed ...
+    for name in lanes:  # ... and did not outlive the failed build
+        with pytest.raises(FileNotFoundError):
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()  # pragma: no cover - only reached on a leak
+    # builds are restartable: a clean rerun is byte-identical to serial
+    rebuilt = HubLabelIndex(g, build_workers=2, band_min=2)
+    assert bundle_bytes(rebuilt) == serial
+    assert rebuilt.build_info["pipeline"] is True

@@ -359,6 +359,99 @@ def test_reply_lanes_unlinked_when_worker_already_dead(blob):
 
 
 # ----------------------------------------------------------------------
+# Request lanes (the symmetric dispatch side)
+# ----------------------------------------------------------------------
+class TaggedDistanceRequest(DistanceRequest):
+    """Planner-compatible subclass the REQCOL packer must refuse.
+
+    ``pack_requests`` keys on exact types, so this rides the pickled
+    fallback while ``QueryPlanner`` (isinstance dispatch) still answers
+    it — the seam the request lanes promise to keep working.
+    """
+
+
+def test_request_transports_agree_and_report(blob, hl):
+    """shm and pipe request transports are answer-identical; stats differ."""
+    reqs = [DistanceRequest(i, 35 - i) for i in range(14)] + [
+        OneToManyRequest(3, tuple(range(12))),
+        TableRequest((0, 7, 21), (5, 9, 30)),
+    ]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=2) as shm_pool, WorkerPool(
+        blob, workers=2, request_transport="pipe"
+    ) as pipe_pool:
+        assert shm_pool.execute(reqs) == want
+        assert pipe_pool.execute(reqs) == want
+        s = shm_pool.stats()["request_path"]
+        p = pipe_pool.stats()["request_path"]
+        assert s["transport"] == "shm" and p["transport"] == "pipe"
+        assert s["shm_bytes"] > 0 and s["oversized_batches"] == 0
+        assert s["pickled_batches"] == 0 and s["crc_failures"] == 0
+        assert p["shm_bytes"] == 0 and p["lane_bytes"] is None
+        assert p["pickled_batches"] > 0
+        # control frames are tiny next to pickled request objects
+        assert s["pipe_bytes"] < p["pipe_bytes"]
+        assert all(lane is None for lane in pipe_pool._req_lanes)
+
+
+def test_request_transport_validation(blob):
+    with pytest.raises(ValueError):
+        WorkerPool(blob, workers=2, request_transport="smoke-signal")
+    with pytest.raises(ValueError):
+        WorkerPool(blob, workers=2, request_lane_bytes=0)
+
+
+def test_oversized_request_falls_back_to_packed_pipe(blob, hl):
+    """Batches that outgrow the request ring ride the pipe, packed."""
+    reqs = [DistanceRequest(i, 35 - i) for i in range(20)]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=2, request_lane_bytes=64) as pool:
+        assert pool.execute(reqs) == want
+        stats = pool.stats()["request_path"]
+        assert stats["oversized_batches"] >= 1
+        assert stats["transport"] == "shm"  # lanes exist; fallback per-batch
+        assert stats["pickled_batches"] == 0  # packed even over the pipe
+
+
+def test_request_ring_wraps(blob, hl):
+    """A request ring smaller than the stream forces a wrap."""
+    reqs = [DistanceRequest(i, 35 - i) for i in range(20)]
+    want = QueryPlanner(hl).execute(reqs)
+    with WorkerPool(blob, workers=1, request_lane_bytes=256) as pool:
+        for _ in range(6):  # cumulative request bytes >> ring size
+            assert pool.execute(reqs) == want
+        stats = pool.stats()["request_path"]
+        assert stats["shm_bytes"] > 256  # wrapped at least once
+        assert stats["oversized_batches"] == 0
+
+
+def test_unpackable_request_kind_rides_pickled_fallback(blob, hl):
+    """Non-column request types keep the pickled path, same answers."""
+    tagged = [TaggedDistanceRequest(0, 7)]
+    packable = [DistanceRequest(i, i + 9) for i in range(8)]
+    with WorkerPool(blob, workers=2) as pool:
+        assert pool.execute(tagged) == QueryPlanner(hl).execute(tagged)
+        assert pool.stats()["request_path"]["pickled_batches"] == 1
+        assert pool.execute(packable) == QueryPlanner(hl).execute(packable)
+        stats = pool.stats()["request_path"]
+        assert stats["pickled_batches"] == 1  # only the tagged batch
+        assert stats["shm_bytes"] > 0  # the packable batch took the lane
+
+
+def test_request_lanes_unlinked_on_close(blob):
+    """Neither reply nor request segments outlive the pool."""
+    pool = WorkerPool(blob, workers=2)
+    names = pool.lane_names()
+    assert len(names) == 4  # reply + request lane per worker
+    pool.execute([DistanceRequest(0, 1)])
+    pool.close()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            _attach_by_name(name)
+    pool.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
 # The Server pool tier
 # ----------------------------------------------------------------------
 def test_server_pool_tier_serves_and_reports(graph, hl, pools):
@@ -384,6 +477,25 @@ def test_server_pool_tier_serves_and_reports(graph, hl, pools):
         tier["per_worker"][0]
     )
     assert tier["dispatches"] >= 1
+
+
+def test_dispatch_stats_pinned_and_surfaced(blob, hl):
+    """stats()["dispatch"] keys are pinned and reach Server.stats()."""
+    reqs = [DistanceRequest(i, i + 7) for i in range(10)]
+
+    async def main(pool):
+        async with Server(None, pool=pool) as server:
+            await asyncio.gather(*(server.submit(r) for r in reqs))
+            return server.stats()
+
+    with WorkerPool(blob, workers=2) as pool:
+        pool.execute(reqs)
+        d = pool.stats()["dispatch"]
+        assert set(d) == {"pack_s", "send_s", "compute_s", "merge_s"}
+        assert all(type(v) is float and v >= 0.0 for v in d.values())
+        assert d["compute_s"] > 0.0  # workers did answer something
+        surfaced = asyncio.run(main(pool))["pool"]["dispatch"]
+        assert set(surfaced) == set(d)
 
 
 def test_server_pool_transparent_crash_recovery(hl, blob):
@@ -453,6 +565,43 @@ def test_parallel_build_shares_contraction(graph):
     parallel = HubLabelIndex(graph, contraction=res, build_workers=2)
     assert bundle_bytes(serial) == bundle_bytes(parallel)
     assert serial.build_info["mode"] == "serial"
+
+
+def test_band_min_knob_byte_identity():
+    """Any parallelism threshold produces the serial bytes exactly."""
+    g = grid_city(5, 5, seed=8)
+    serial = bundle_bytes(HubLabelIndex(g))
+    for band_min in (1, 10_000):
+        parallel = HubLabelIndex(g, build_workers=2, band_min=band_min)
+        assert bundle_bytes(parallel) == serial
+        assert parallel.build_info["band_min"] == band_min
+    with pytest.raises(ValueError):
+        HubLabelIndex(g, build_workers=2, band_min=0)
+
+
+def test_build_pipeline_toggle_byte_identical():
+    """Pipelined and barrier builds both reproduce the serial bytes."""
+    g = grid_city(5, 5, seed=21)
+    serial = bundle_bytes(HubLabelIndex(g))
+    # band_min=2 routes nearly every band through the workers, so the
+    # packed-chunk broadcast path is actually exercised on this grid
+    piped = HubLabelIndex(g, build_workers=2, band_min=2)
+    barrier = HubLabelIndex(g, build_workers=2, build_pipeline=False, band_min=2)
+    assert bundle_bytes(piped) == serial
+    assert bundle_bytes(barrier) == serial
+    assert piped.build_info["pipeline"] is True
+    assert barrier.build_info["pipeline"] is False
+    sync = piped.build_info["sync"]
+    assert {
+        "shm_bytes",
+        "pipe_bytes",
+        "oversized_chunks",
+        "overlap_fraction",
+    } <= set(sync)
+    assert 0.0 <= sync["overlap_fraction"] <= 1.0
+    # the pipelined broadcast moves its bulk through the sync ring
+    assert sync["shm_bytes"] > 0
+    assert sync["pipe_bytes"] < barrier.build_info["sync"]["pipe_bytes"]
 
 
 def test_rank_bands_structure(graph):
