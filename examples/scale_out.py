@@ -33,6 +33,7 @@ import signal
 import tempfile
 import time
 
+from repro import backend
 from repro.baselines import HubLabelIndex
 from repro.core.serialize import bundle_bytes, save_bundle
 from repro.datasets import towns_and_highways
@@ -76,12 +77,19 @@ async def serve_through_pool(pool, graph, order_pool, kill_one_worker=False):
 def main() -> None:
     graph = towns_and_highways(6, seed=7)
     print(f"network: {graph.n} nodes / {graph.m} edges")
+    # Which kernel tier answers every batch below (native C kernels when
+    # the extension is built, numpy, or the pure-python scans) — workers
+    # inherit the same tier through the bundle boot.
+    print(f"backend: {backend.describe()['backend']}")
 
     print("\n[1] build once, bundle once")
     t0 = time.perf_counter()
     index = HubLabelIndex(graph)
     print(f"   serial build: {time.perf_counter() - t0:.3f}s, "
           f"{index.label_count} label entries")
+    caps = index.batch_capabilities()
+    print(f"   batch kernels: one_to_many={caps.one_to_many}, "
+          f"distance_table={caps.distance_table}")
     bundle_path = os.path.join(tempfile.mkdtemp(), "demo.bundle")
     save_bundle(index, bundle_path)
     print(f"   bundle: {os.path.getsize(bundle_path)} bytes -> {bundle_path}")

@@ -11,6 +11,7 @@ from . import (  # noqa: F401 — imported for their register() side effect
     bench_honesty,
     determinism,
     exact_accumulation,
+    native_discipline,
     pickle_discipline,
     recv_discipline,
     serialize_symmetry,

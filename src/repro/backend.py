@@ -15,11 +15,20 @@ Contract
   algorithms over the same values in the same order; only the container
   type of the flat columns and the inner-loop engine differ.  The
   hypothesis suite in ``tests/test_backend_parity.py`` pins this.
-* **Selection** happens once at import: ``numpy`` when importable, else
-  ``pure-python``.  The ``REPRO_BACKEND`` environment variable overrides
-  (``numpy`` / ``pure``), and :func:`forced` flips the active backend for
-  a scope — which is how the parity tests and the A/B benchmarks run both
-  paths in one process.
+* **Selection** happens once at import, in tier order ``native`` ->
+  ``numpy`` -> ``pure-python``: the compiled :mod:`repro.native` hub-join
+  kernels when the extension is importable, else numpy, else pure.  The
+  ``REPRO_BACKEND`` environment variable overrides (``native`` /
+  ``numpy`` / ``pure``; ``native`` on a box without the compiled module
+  degrades with a single warning instead of failing), and :func:`forced`
+  flips the active tier for a scope — which is how the parity tests and
+  the A/B benchmarks run all paths in one process.
+* The **native tier stacks on the container layer**: columns under
+  ``native`` are whatever :func:`use_numpy` says (numpy arrays when the
+  fast extra is installed, stdlib arrays otherwise) — the C kernels read
+  either through the buffer protocol.  ``native`` only redirects the HL
+  hot-path kernels; every other code path behaves exactly as on the
+  container backend beneath it.
 * **Columns** are ``int64`` / ``float64`` either way: ``numpy.ndarray``
   under the numpy backend, ``array('q')`` / ``array('d')`` under the pure
   one.  Both expose ``tobytes`` / ``tolist`` / slicing, and the stdlib
@@ -37,6 +46,7 @@ from __future__ import annotations
 import math
 import os
 import platform
+import warnings
 from array import array
 from contextlib import contextmanager
 from typing import Iterator
@@ -46,12 +56,20 @@ try:  # the optional "fast" extra — never required
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     np = None  # type: ignore[assignment]
 
+try:  # the optional "native" extra — never required either
+    from . import native as _native
+except ImportError:  # pragma: no cover - a broken facade, not a missing .so
+    _native = None  # type: ignore[assignment]
+
 __all__ = [
+    "HAS_NATIVE",
     "HAS_NUMPY",
+    "NATIVE",
     "NUMPY",
     "PURE",
     "np",
     "active",
+    "use_native",
     "use_numpy",
     "force_backend",
     "forced",
@@ -73,20 +91,24 @@ __all__ = [
 ]
 
 HAS_NUMPY = np is not None
+HAS_NATIVE = _native is not None and _native.available()
 
 #: Canonical backend names, as recorded in BENCH_*.json metadata.
+NATIVE = "native"
 NUMPY = "numpy"
 PURE = "pure-python"
 
 
 def _normalise(name: str) -> str:
     key = str(name).strip().lower()
+    if key in ("native", "c"):
+        return NATIVE
     if key in ("numpy", "np", "fast"):
         return NUMPY
     if key in ("pure", "pure-python", "python", "pure_python"):
         return PURE
     raise ValueError(
-        f"unknown backend {name!r}; choose 'numpy' or 'pure-python'"
+        f"unknown backend {name!r}; choose 'native', 'numpy' or 'pure-python'"
     )
 
 
@@ -99,7 +121,26 @@ def _initial() -> str:
                 "REPRO_BACKEND=numpy but numpy is not importable; "
                 "install the 'fast' extra (pip install repro-roadnet[fast])"
             )
+        if choice == NATIVE and not HAS_NATIVE:
+            # Unlike the numpy override this degrades instead of raising:
+            # "native" is a *tier* request, and the tier ladder has two
+            # bit-identical rungs below it.  One warning, then the same
+            # auto-selection a bare import performs.
+            fallback = NUMPY if HAS_NUMPY else PURE
+            warnings.warn(
+                "REPRO_BACKEND=native but the repro.native._hubjoin "
+                "extension is not importable (not built, or disabled via "
+                f"REPRO_NATIVE=0); degrading to the {fallback} tier — "
+                "answers are bit-identical, only slower.  Build it with "
+                "`python setup.py build_ext --inplace` or "
+                "`pip install repro-roadnet[native]`.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return fallback
         return choice
+    if HAS_NATIVE:
+        return NATIVE
     return NUMPY if HAS_NUMPY else PURE
 
 
@@ -112,8 +153,19 @@ def active() -> str:
 
 
 def use_numpy() -> bool:
-    """True when the numpy kernels are the live code path."""
-    return _ACTIVE == NUMPY
+    """True when the numpy *container* layer is the live code path.
+
+    The native tier stacks on numpy when the fast extra is installed —
+    everything outside the three HL hot kernels (CSR packing, batch
+    kernels of other engines, bundle I/O) keeps vectorising — so this
+    answers "are columns numpy arrays", not "is numpy the top tier".
+    """
+    return _ACTIVE == NUMPY or (_ACTIVE == NATIVE and HAS_NUMPY)
+
+
+def use_native() -> bool:
+    """True when the native hub-join kernels are the live HL hot path."""
+    return _ACTIVE == NATIVE
 
 
 def force_backend(name: str) -> str:
@@ -127,6 +179,11 @@ def force_backend(name: str) -> str:
     choice = _normalise(name)
     if choice == NUMPY and not HAS_NUMPY:
         raise RuntimeError("cannot force the numpy backend: numpy is not importable")
+    if choice == NATIVE and not HAS_NATIVE:
+        raise RuntimeError(
+            "cannot force the native tier: the repro.native._hubjoin "
+            "extension is not importable"
+        )
     previous = _ACTIVE
     _ACTIVE = choice
     return previous
@@ -145,15 +202,26 @@ def forced(name: str) -> Iterator[str]:
 def describe() -> dict:
     """Environment metadata for BENCH_*.json records.
 
-    Identifies the backend (with the numpy version when live), the
-    CPython version and the platform, so perf trajectories recorded
-    across PRs stay interpretable.
+    Identifies the tier (with the numpy version when the numpy container
+    layer is live and the native kernel version/hash when the C tier
+    is), the CPython version and the platform, so perf trajectories
+    recorded across PRs stay interpretable.
     """
+    if use_numpy():
+        containers = f"numpy {np.__version__}"  # type: ignore[union-attr]
+    else:
+        containers = PURE
+    if use_native():
+        label = f"native (kernels v{_native.version()}, {containers})"
+    else:
+        label = containers
     return {
-        "backend": (
-            f"numpy {np.__version__}" if use_numpy() else PURE  # type: ignore[union-attr]
-        ),
+        "backend": label,
+        "tier": _ACTIVE,
         "numpy_available": HAS_NUMPY,
+        "native_available": HAS_NATIVE,
+        "native_version": _native.version() if HAS_NATIVE else None,
+        "native_hash": _native.extension_hash() if HAS_NATIVE else None,
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),

@@ -40,6 +40,13 @@ The batched surface (:meth:`HubLabelIndex.one_to_many`,
 of per-entry scans actually bites — a 100x100 table touches tens of
 thousands of label entries — so it dispatches on :mod:`repro.backend`:
 
+* **native** (the top tier, when the optional :mod:`repro.native`
+  C extension is built): all three hot kernels — the two-pointer
+  merge-join ``distance``, the dense-gather ``one_to_many`` and the
+  co-occurrence scatter-min ``distance_table`` — run as single C calls
+  directly over the label columns through the buffer protocol, flat
+  and compact domains alike (the C loops read int32 and int64/float64
+  columns through the same accessors, so compact bundles never widen).
 * **numpy** (the default when importable): ``one_to_many`` scatters the
   source label into a dense hub-indexed distance vector (absent hubs
   read ``inf`` for free — no searchsorted, no mask), gathers it through
@@ -86,6 +93,7 @@ from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import backend
+from .. import native as _native
 from ..graph.graph import Graph
 from ..graph.path import Path
 from ..graph.workspace import acquire, release
@@ -679,10 +687,15 @@ class HubLabelIndex(QueryEngine):
         ``distance_table`` is bit-exact, not just value-exact
         (``tests/test_backend_parity.py`` pins the kernel side).
         """
-        fast = backend.use_numpy()
+        if backend.use_native():
+            o2m, table = "hl-native-gather", "hl-native-scatter-min"
+        elif backend.use_numpy():
+            o2m, table = "hl-dense-gather", "hl-cooccurrence-join"
+        else:
+            o2m, table = "hl-label-scan", "hl-bucket-scan"
         return BatchCapabilities(
-            one_to_many="hl-dense-gather" if fast else "hl-label-scan",
-            distance_table="hl-cooccurrence-join" if fast else "hl-bucket-scan",
+            one_to_many=o2m,
+            distance_table=table,
             native_batching=True,
             exact_point_coalescing=True,
         )
@@ -792,10 +805,24 @@ class HubLabelIndex(QueryEngine):
 
         Domain-generic: compact int32 columns sum as exact Python ints
         and coerce to float64 on return — the same value, bit for bit,
-        the flat float64 columns produce.
+        the flat float64 columns produce.  Under the native tier the
+        same merge-join runs as one C call over the same columns.
         """
         if source == target:
             return 0.0
+        if backend.use_native():
+            return float(
+                _native.distance(
+                    self.fwd_head,
+                    self.fwd_hub,
+                    self.fwd_dist,
+                    self.bwd_head,
+                    self.bwd_hub,
+                    self.bwd_dist,
+                    source,
+                    target,
+                )
+            )
         fhub, fdist = self.fwd_hub, self.fwd_dist
         bhub, bdist = self.bwd_hub, self.bwd_dist
         i = self.fwd_head[source]
@@ -855,9 +882,35 @@ class HubLabelIndex(QueryEngine):
         targets = list(targets)
         if not targets:
             return []
+        if backend.use_native():
+            return self._one_to_many_native(source, targets)
         if backend.use_numpy():
             return self._one_to_many_numpy(source, targets)
         return self._one_to_many_pure(source, targets)
+
+    def _one_to_many_native(self, source: int, targets: Sequence[int]) -> List[float]:
+        """Native batch: the dense-gather kernel as one C call.
+
+        Same dense hub-indexed scatter/gather the numpy kernel performs
+        (and the same candidate sums the pure scan folds), compiled —
+        the kernel reads the columns through the buffer protocol, so
+        flat and compact domains take the identical code path.  Results
+        are plain Python floats built by the extension; ``list`` is the
+        column constructor at the boundary.
+        """
+        return list(
+            _native.one_to_many(
+                self.fwd_head,
+                self.fwd_hub,
+                self.fwd_dist,
+                self.bwd_head,
+                self.bwd_hub,
+                self.bwd_dist,
+                self.graph.n,
+                source,
+                targets,
+            )
+        )
 
     def _one_to_many_pure(self, source: int, targets: Sequence[int]) -> List[float]:
         """PR 2's label-scan batch: one pass per target, dict probes.
@@ -942,9 +995,38 @@ class HubLabelIndex(QueryEngine):
         targets = list(targets)
         if not targets:
             return [[] for _ in sources]
+        if backend.use_native():
+            return self._distance_table_native(list(sources), targets)
         if backend.use_numpy():
             return self._distance_table_numpy(list(sources), targets)
         return self._distance_table_pure(sources, targets)
+
+    def _distance_table_native(
+        self, sources: List[int], targets: List[int]
+    ) -> List[List[float]]:
+        """Native table: counting-sorted co-occurrence join in one C call.
+
+        The kernel builds the same hub -> (column, dist) inversion the
+        other tiers use (counting sort by hub), then streams every
+        source's forward label through the per-hub runs with a
+        scatter-min — exactly the co-occurrence pairs the pure scan and
+        the numpy ``minimum.at`` kernel visit, so answers are
+        bit-identical; rows come back as plain Python float lists and
+        ``list`` re-containers them at the boundary.
+        """
+        return list(
+            _native.distance_table(
+                self.fwd_head,
+                self.fwd_hub,
+                self.fwd_dist,
+                self.bwd_head,
+                self.bwd_hub,
+                self.bwd_dist,
+                self.graph.n,
+                sources,
+                targets,
+            )
+        )
 
     def _distance_table_pure(
         self, sources: Sequence[int], targets: Sequence[int]

@@ -11,9 +11,12 @@ Examples
     python -m repro.bench fig10 --datasets DE NH ME CO
     python -m repro.bench table1 --datasets DE NH ME
     python -m repro.bench ablation --datasets DE
+    python -m repro.bench --summary
 
 Every sub-command prints the corresponding paper panel as text; redirect
 to a file to archive a run (EXPERIMENTS.md was produced this way).
+``--summary`` instead folds every committed ``BENCH_*.json`` into one
+perf-trajectory table (see :mod:`repro.bench.summary`).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import argparse
 import sys
 from typing import List
 
+from . import summary
 from .experiments import ablation, fig3, fig10, fig89, table1, table2
 
 
@@ -40,7 +44,17 @@ def main(argv: List[str] = None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's tables and figures.",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the perf trajectory over every BENCH_*.json and exit",
+    )
+    parser.add_argument(
+        "--bench-root",
+        default=".",
+        help="directory holding the BENCH_*.json files (default: .)",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("table1", help="Table 1: bounds + empirical scaling")
     _add_datasets(p, ["DE", "NH", "ME"])
@@ -77,6 +91,12 @@ def main(argv: List[str] = None) -> int:
     p.add_argument("--queries", type=int, default=100)
 
     args = parser.parse_args(argv)
+
+    if args.summary:
+        print(summary.main(args.bench_root))
+        return 0
+    if args.command is None:
+        parser.error("a sub-command (or --summary) is required")
 
     if args.command == "table1":
         print(table1.render(table1.run(args.datasets, queries=args.queries)))

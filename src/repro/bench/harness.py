@@ -9,6 +9,7 @@ paper-style tables and series.
 from __future__ import annotations
 
 import asyncio
+import shutil
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -52,9 +53,19 @@ def environment_metadata() -> Dict[str, object]:
 
     Every ``BENCH_*.json`` embeds this so the perf trajectory recorded
     across PRs stays interpretable: a regression that is really a
-    backend or interpreter change should be visible as one.
+    backend or interpreter change should be visible as one.  Since the
+    native kernel tier (PR 10) the block also records whether a C
+    compiler was present (a native-less run on a compiler-less box is
+    expected; on a box WITH a compiler it means the extension was never
+    built) — the extension's own version/hash ride along inside
+    :func:`repro.backend.describe`.
     """
-    return backend.describe()
+    meta = backend.describe()
+    compiler = next(
+        (name for name in ("cc", "gcc", "clang") if shutil.which(name)), None
+    )
+    meta["compiler"] = compiler or "none"
+    return meta
 
 #: Engine name -> constructor.  Every constructor takes the graph plus
 #: engine-specific keyword arguments.

@@ -935,6 +935,94 @@ def test_pickle_discipline_skips_faults_module_and_other_packages():
 
 
 # ----------------------------------------------------------------------
+# native-boundary-discipline
+# ----------------------------------------------------------------------
+def test_native_discipline_flags_ctypes_import():
+    findings = run("import ctypes\n")
+    assert lines_for(findings, "native-boundary-discipline") == [1]
+
+
+def test_native_discipline_flags_compiled_module_import():
+    findings = run("import repro.native._hubjoin\n")
+    assert lines_for(findings, "native-boundary-discipline") == [1]
+
+
+def test_native_discipline_flags_from_native_private_import():
+    findings = run("from repro.native import _hubjoin\n")
+    assert lines_for(findings, "native-boundary-discipline") == [1]
+
+
+def test_native_discipline_allows_facade_import():
+    findings = run("from repro import native\n")
+    assert lines_for(findings, "native-boundary-discipline") == []
+
+
+def test_native_discipline_allows_anything_inside_native_pkg():
+    findings = run(
+        "import ctypes\nfrom . import _hubjoin\n",
+        rel="src/repro/native/__init__.py",
+    )
+    assert lines_for(findings, "native-boundary-discipline") == []
+
+
+def test_native_discipline_flags_bare_kernel_return():
+    findings = run(
+        """\
+        from repro import native as _native
+
+        def distance(self, s, t):
+            return _native.distance(self.fh, self.fu, self.fd, s, t)
+        """,
+        rel="src/repro/baselines/hl.py",
+    )
+    assert lines_for(findings, "native-boundary-discipline") == [4]
+
+
+def test_native_discipline_flags_bare_subscript_return():
+    findings = run(
+        """\
+        from repro import native as _native
+
+        def one(self, s, ts):
+            out = _native.one_to_many(self.fh, s, ts)
+            return out[0]
+        """,
+        rel="src/repro/baselines/hl.py",
+    )
+    assert lines_for(findings, "native-boundary-discipline") == [5]
+
+
+def test_native_discipline_clean_coerced_returns():
+    findings = run(
+        """\
+        from repro import native as _native
+
+        def distance(self, s, t):
+            return float(_native.distance(self.fh, self.fu, self.fd, s, t))
+
+        def table(self, ss, ts):
+            return list(_native.distance_table(self.fh, ss, ts))
+        """,
+        rel="src/repro/baselines/hl.py",
+    )
+    assert lines_for(findings, "native-boundary-discipline") == []
+
+
+def test_native_discipline_return_check_scoped_to_kernel_dirs():
+    # Outside baselines//graph//core/ the return-coercion check is off.
+    findings = run(
+        """\
+        from repro import native as _native
+
+        def probe():
+            return _native.version()
+        """,
+        rel="src/repro/serve/x.py",
+    )
+    assert lines_for(findings, "native-boundary-discipline") == []
+
+
+# ----------------------------------------------------------------------
 # Registry / --explain plumbing
 # ----------------------------------------------------------------------
 EXPECTED_RULES = [
@@ -944,6 +1032,7 @@ EXPECTED_RULES = [
     "determinism",
     "exact-accumulation",
     "hot-path-pickle-discipline",
+    "native-boundary-discipline",
     "recv-timeout-discipline",
     "serialize-symmetry",
     "spawn-safety",
@@ -951,7 +1040,7 @@ EXPECTED_RULES = [
 ]
 
 
-def test_all_ten_rules_registered():
+def test_all_eleven_rules_registered():
     assert [r.id for r in iter_rules()] == EXPECTED_RULES
 
 

@@ -9,7 +9,7 @@ from repro import backend
 
 class TestSelection:
     def test_active_is_canonical(self):
-        assert backend.active() in (backend.NUMPY, backend.PURE)
+        assert backend.active() in (backend.NATIVE, backend.NUMPY, backend.PURE)
 
     def test_numpy_is_default_when_available(self):
         if backend.HAS_NUMPY:

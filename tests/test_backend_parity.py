@@ -31,7 +31,7 @@ from hypothesis import strategies as st
 from repro.baselines import HubLabelIndex
 from repro.bench.harness import ENGINE_FACTORIES
 from repro.core import perturb_weights
-from repro.core.serialize import save_bundle
+from repro.core.serialize import load_bundle, save_bundle
 from repro.datasets import grid_city
 from repro.graph.builder import GraphBuilder
 
@@ -182,3 +182,57 @@ def test_bundles_byte_identical_across_backends(seed):
     assert compact_blobs["pure"] == compact_blobs["numpy"]
     assert flat_blobs["pure"] == flat_blobs["numpy"]
     assert compact_blobs["pure"] != flat_blobs["pure"]  # formats differ
+
+#: Kernel tiers available in this process, fastest first.
+_TIERS = (["native"] if backend.HAS_NATIVE else []) + ["numpy", "pure"]
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rows=st.integers(2, 4),
+    cols=st.integers(2, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_hl_kernels_identical_across_all_tiers_and_domains(rows, cols, seed):
+    """PR 10's contract: pure / numpy / native answer bit-identically.
+
+    All three HL hot kernels (distance, one_to_many, distance_table) are
+    driven under every available tier, on BOTH label domains — the flat
+    float64/int64 columns of a freshly built index and the compact
+    int32/delta columns of an HL2-loaded one.  Exact ``==`` on floats is
+    the honest assertion: every tier performs the same two-term float64
+    additions and order-independent mins (ints below 2**53 convert
+    exactly), so any difference is a kernel bug, not rounding.
+    """
+    spec = _graph_spec(rows, cols, seed)
+    graph = _build(spec, "numpy")
+    with backend.forced("numpy"):
+        hl_flat = HubLabelIndex(graph)
+        buf = io.BytesIO()
+        save_bundle(hl_flat, buf)  # compact (HL2) by default
+        buf.seek(0)
+        _, hl_compact = load_bundle(buf)
+    assert hl_compact.domain == "compact"
+    rng = random.Random(seed)
+    n = graph.n
+    pairs = _pairs(n, seed, count=8)
+    sources = [rng.randrange(n) for _ in range(6)]
+    targets = [rng.randrange(n) for _ in range(5)] + [sources[0]]
+    for hl, domain in ((hl_flat, "flat"), (hl_compact, "compact")):
+        answers = {}
+        for tier in _TIERS:
+            with backend.forced(tier):
+                answers[tier] = (
+                    [hl.distance(s, t) for s, t in pairs],
+                    hl.one_to_many(sources[0], targets),
+                    hl.distance_table(sources, targets),
+                )
+        baseline = answers[_TIERS[-1]]  # pure: the reference scans
+        for tier in _TIERS[:-1]:
+            assert answers[tier] == baseline, (
+                f"{tier} diverges from pure on the {domain} domain"
+            )

@@ -1,5 +1,8 @@
 """Tests for the benchmark harness, reporting and experiment modules."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.bench import (
@@ -11,9 +14,12 @@ from repro.bench import (
     time_distance_batch,
     time_path_batch,
 )
+from repro.bench import summary
 from repro.bench.experiments import ablation, fig3, fig10, fig89, table1, table2
 from repro.bench.experiments.fig10 import growth_exponent
 from repro.datasets import grid_city
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestReporting:
@@ -166,3 +172,113 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main([])
+
+    def test_main_summary_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        (tmp_path / "BENCH_x.json").write_text(
+            json.dumps(
+                {
+                    "environment": {"backend": "pure-python", "python": "3.11"},
+                    "headline": {"speedup": 2.5},
+                }
+            )
+        )
+        assert main(["--summary", "--bench-root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark trajectory" in out
+        assert "speedup=2.5" in out
+
+
+class TestSummary:
+    """python -m repro.bench --summary — the cross-PR trajectory table."""
+
+    @staticmethod
+    def _write(root, name, payload):
+        (root / name).write_text(json.dumps(payload))
+
+    def test_bench_files_filters_and_sorts(self, tmp_path):
+        self._write(tmp_path, "BENCH_b.json", {})
+        self._write(tmp_path, "BENCH_a.check.json", {})
+        (tmp_path / "notes.json").write_text("{}")
+        (tmp_path / "BENCH_bad.txt").write_text("")
+        names = [p.name for p in summary.bench_files(str(tmp_path))]
+        assert names == ["BENCH_a.check.json", "BENCH_b.json"]
+
+    def test_summarize_full_row(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_hl.json",
+            {
+                "environment": {
+                    "backend": "native (kernels v1, numpy 2.4.6)",
+                    "python": "3.11.7",
+                    "platform": "Linux-x86_64",
+                },
+                "visible_cpus": 4,
+                "headline": {
+                    "note": "prose is skipped",
+                    "table_native_vs_numpy": 2.4,
+                    "gated": True,  # bools are not ratios
+                },
+            },
+        )
+        row = summary.summarize_file(tmp_path / "BENCH_hl.json")
+        assert row["bench"] == "hl"
+        assert row["mode"] == "full"
+        assert row["backend"].startswith("native")
+        assert row["cpus"] == "4"
+        assert row["ratios"] == "table_native_vs_numpy=2.4"
+
+    def test_summarize_check_row_uses_mode(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_hl.check.json",
+            {"mode": "check (parity; timings omitted)"},
+        )
+        row = summary.summarize_file(tmp_path / "BENCH_hl.check.json")
+        assert row["mode"] == "check"
+        assert row["ratios"] == "check"
+        assert row["backend"] == "?"
+        assert row["cpus"] == "-"
+
+    def test_ratio_cell_elides_past_cap(self, tmp_path):
+        headline = {f"r{i}": float(i) for i in range(summary.MAX_RATIOS + 3)}
+        self._write(tmp_path, "BENCH_big.json", {"headline": headline})
+        row = summary.summarize_file(tmp_path / "BENCH_big.json")
+        assert "(+3 more)" in row["ratios"]
+        assert f"r{summary.MAX_RATIOS - 1}=" in row["ratios"]
+        assert f"r{summary.MAX_RATIOS}=" not in row["ratios"]
+
+    def test_render_empty_root(self, tmp_path):
+        assert "no BENCH_*.json files" in summary.main(str(tmp_path))
+
+    def test_render_table_shape(self, tmp_path):
+        self._write(
+            tmp_path,
+            "BENCH_a.json",
+            {
+                "environment": {"backend": "pure-python", "platform": "p1"},
+                "headline": {"x": 1.5},
+            },
+        )
+        self._write(
+            tmp_path,
+            "BENCH_b.json",
+            {
+                "environment": {"backend": "numpy 2.4.6", "platform": "p2"},
+                "headline": {"y": 3.0},
+            },
+        )
+        out = summary.main(str(tmp_path))
+        lines = out.splitlines()
+        assert lines[0] == "Benchmark trajectory"
+        assert "bench" in lines[1] and "key ratios" in lines[1]
+        assert any("x=1.5" in line for line in lines)
+        assert any("y=3.0" in line for line in lines)
+        assert lines[-1] == "platform: p1; p2"
+
+    def test_repo_trajectory_includes_every_committed_bench(self):
+        rows = summary.collect(str(REPO_ROOT))
+        names = {r["bench"] for r in rows}
+        assert {"csr", "hl", "serve", "pool", "faults"} <= names

@@ -1,0 +1,184 @@
+"""repro.native — facade surface and degradation semantics (ISSUE 10).
+
+Two groups:
+
+* **Facade** (skipped when no extension is built): the compiled module
+  is identified (version, path, content hash), selected as the default
+  tier, and reported through ``backend.describe()``.
+* **Degradation** (always runs, via subprocesses): ``REPRO_NATIVE=0``
+  disables the extension at import time, so a child interpreter is the
+  honest way to exercise "requested native, extension not importable" —
+  exactly one RuntimeWarning, fall back to numpy/pure, answers
+  identical.  This is the same contract the numpy tier has always had,
+  one layer down.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro import backend, native
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+needs_native = pytest.mark.skipif(
+    not backend.HAS_NATIVE, reason="C extension not built"
+)
+
+
+def _run(code, **env):
+    """Run *code* in a child interpreter with extra env, return the proc."""
+    full_env = dict(os.environ)
+    full_env.pop("REPRO_BACKEND", None)
+    full_env.pop("REPRO_NATIVE", None)
+    full_env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    full_env.update(env)
+    return subprocess.run(
+        [sys.executable, "-c", dedent(code)],
+        capture_output=True,
+        text=True,
+        env=full_env,
+        cwd=str(REPO_ROOT),
+        timeout=120,
+    )
+
+
+# ----------------------------------------------------------------------
+# Facade surface (extension present)
+# ----------------------------------------------------------------------
+@needs_native
+class TestFacade:
+    def test_extension_identified(self):
+        assert native.available()
+        assert native.version() == "1"
+        path = native.extension_path()
+        assert path and path.endswith(".so")
+        digest = native.extension_hash()
+        assert len(digest) == 12
+        int(digest, 16)  # hex
+
+    def test_native_is_default_tier(self):
+        # No REPRO_BACKEND in the test env -> auto-order picks native.
+        if "REPRO_BACKEND" not in os.environ:
+            assert backend.active() == backend.NATIVE
+
+    def test_describe_carries_native_fields(self):
+        with backend.forced("native"):
+            desc = backend.describe()
+        assert desc["tier"] == "native"
+        assert desc["native_available"] is True
+        assert desc["native_version"] == "1"
+        assert desc["native_hash"] == native.extension_hash()
+        assert desc["backend"].startswith("native (kernels v1")
+
+    def test_native_stacks_on_container_layer(self):
+        with backend.forced("native"):
+            assert backend.use_native()
+            # Containers keep vectorising when numpy exists underneath.
+            assert backend.use_numpy() == backend.HAS_NUMPY
+        with backend.forced("pure"):
+            assert not backend.use_native()
+
+    def test_kernel_wrappers_match_pure_scans(self):
+        from repro.baselines import HubLabelIndex
+        from repro.datasets import grid_city
+
+        graph = grid_city(4, 4, seed=3)
+        with backend.forced("pure"):
+            hl = HubLabelIndex(graph)
+        targets = [0, 5, 9, 15]
+        want_o2m = hl._one_to_many_pure(2, targets)
+        want_tab = hl._distance_table_pure([1, 7], targets)
+        cols = (
+            hl.fwd_head, hl.fwd_hub, hl.fwd_dist,
+            hl.bwd_head, hl.bwd_hub, hl.bwd_dist,
+        )
+        with backend.forced("pure"):
+            want_dist = hl.distance(2, 9)
+        assert float(native.distance(*cols, 2, 9)) == want_dist
+        assert list(native.one_to_many(*cols, graph.n, 2, targets)) == want_o2m
+        got = native.distance_table(*cols, graph.n, [1, 7], targets)
+        assert [list(row) for row in got] == want_tab
+
+
+# ----------------------------------------------------------------------
+# Degradation (subprocesses; runs with or without the extension)
+# ----------------------------------------------------------------------
+_PROBE = """
+import warnings
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    from repro import backend
+import json
+print(json.dumps({
+    "active": backend.active(),
+    "has_native": backend.HAS_NATIVE,
+    "warnings": [str(w.message) for w in caught
+                 if issubclass(w.category, RuntimeWarning)],
+}))
+"""
+
+
+def test_disabled_extension_is_invisible_without_request():
+    # REPRO_NATIVE=0 alone: auto-order just skips the tier, silently.
+    proc = _run(_PROBE, REPRO_NATIVE="0")
+    assert proc.returncode == 0, proc.stderr
+    out = json.loads(proc.stdout)
+    assert out["has_native"] is False
+    assert out["active"] in ("numpy", "pure-python")
+    assert out["warnings"] == []
+
+
+def test_requested_native_degrades_with_single_warning():
+    proc = _run(_PROBE, REPRO_NATIVE="0", REPRO_BACKEND="native")
+    assert proc.returncode == 0, proc.stderr
+    out = json.loads(proc.stdout)
+    assert out["has_native"] is False
+    assert out["active"] in ("numpy", "pure-python")
+    assert len(out["warnings"]) == 1
+    message = out["warnings"][0]
+    assert "REPRO_BACKEND=native" in message
+    assert "degrading" in message
+    assert "bit-identical" in message
+
+
+def test_degraded_answers_identical_to_pure():
+    code = """
+    import warnings
+    warnings.simplefilter("ignore")
+    from repro import backend
+    from repro.baselines import HubLabelIndex
+    from repro.datasets import grid_city
+
+    graph = grid_city(4, 4, seed=7)
+    hl = HubLabelIndex(graph)
+    pairs = [(0, 15), (3, 12), (5, 5), (9, 2)]
+    degraded = [hl.distance(s, t) for s, t in pairs]
+    table = hl.distance_table((0, 3), (5, 9, 11))
+    with backend.forced("pure"):
+        assert degraded == [hl.distance(s, t) for s, t in pairs]
+        assert table == hl.distance_table((0, 3), (5, 9, 11))
+    print("OK")
+    """
+    proc = _run(code, REPRO_NATIVE="0", REPRO_BACKEND="native")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "OK"
+
+
+def test_force_native_without_extension_raises():
+    code = """
+    from repro import backend
+    try:
+        backend.force_backend("native")
+    except RuntimeError as exc:
+        assert "native" in str(exc)
+        print("RAISED")
+    """
+    proc = _run(code, REPRO_NATIVE="0")
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "RAISED"
